@@ -1,0 +1,40 @@
+// Command bvsolve is a standalone QF_BV solver speaking the SMT-LIB v2
+// subset of internal/smtlib — the same decision procedure that powers the
+// symbolic co-simulation, exposed for ad-hoc queries.
+//
+// Usage:
+//
+//	bvsolve file.smt2
+//	echo '(declare-const x (_ BitVec 8)) (assert (bvult x #x05)) (check-sat) (get-model)' | bvsolve
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"symriscv/internal/smtlib"
+)
+
+func main() {
+	var src []byte
+	var err error
+	switch len(os.Args) {
+	case 1:
+		src, err = io.ReadAll(os.Stdin)
+	case 2:
+		src, err = os.ReadFile(os.Args[1])
+	default:
+		fmt.Fprintln(os.Stderr, "usage: bvsolve [file.smt2]")
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bvsolve:", err)
+		os.Exit(1)
+	}
+	in := smtlib.NewInterp(os.Stdout)
+	if err := in.Run(string(src)); err != nil {
+		fmt.Fprintln(os.Stderr, "bvsolve:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,64 @@
+// Command rv32asm assembles and disassembles RV32I+Zicsr instructions, the
+// helper used to inspect counterexample words from the verification flow.
+//
+// Usage:
+//
+//	rv32asm -d 0x00a5c083 0xc2001963    # disassemble words
+//	rv32asm "addi x1, x2, -5"           # assemble lines
+//	echo "lw a0, 8(sp)" | rv32asm       # assemble stdin, one line each
+//	rv32asm -d                          # disassemble stdin words
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"symriscv/internal/riscv"
+)
+
+func main() {
+	disasm := flag.Bool("d", false, "disassemble hex words instead of assembling")
+	flag.Parse()
+
+	inputs := flag.Args()
+	if len(inputs) == 0 {
+		sc := bufio.NewScanner(os.Stdin)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" {
+				continue
+			}
+			inputs = append(inputs, line)
+		}
+		if err := sc.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, "rv32asm:", err)
+			os.Exit(1)
+		}
+	}
+
+	exit := 0
+	for _, in := range inputs {
+		if *disasm {
+			w, err := strconv.ParseUint(strings.TrimPrefix(strings.ToLower(in), "0x"), 16, 32)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "rv32asm: bad word %q: %v\n", in, err)
+				exit = 1
+				continue
+			}
+			fmt.Printf("0x%08x  %s\n", uint32(w), riscv.Disasm(uint32(w)))
+			continue
+		}
+		w, err := riscv.Assemble(in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rv32asm: %v\n", err)
+			exit = 1
+			continue
+		}
+		fmt.Printf("0x%08x  %s\n", w, riscv.Disasm(w))
+	}
+	os.Exit(exit)
+}

@@ -1,0 +1,394 @@
+// Command symv drives the symbolic RISC-V processor verification flow: it
+// regenerates the paper's experiments (Table I, Table II, the exemplary long
+// run, and the ablations) and runs individual bug hunts.
+//
+// Usage:
+//
+//	symv table1  [-probe-time 60s] [-max-paths 5000]
+//	symv table2  [-cell-time 60s] [-limits 1,2] [-faults E0,E3]
+//	symv hunt    [-fault E6] [-limit 1] [-shipped] [-regs 2] [-time 60s]
+//	symv longrun [-budget 30s] [-limit 1] [-regs 2]
+//	symv ablation [-kind regs|limit] [-budget 30s]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"symriscv/internal/smt"
+
+	"symriscv/internal/core"
+	"symriscv/internal/cosim"
+	"symriscv/internal/faults"
+	"symriscv/internal/harness"
+	"symriscv/internal/iss"
+	"symriscv/internal/microrv32"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "table1":
+		err = cmdTable1(os.Args[2:])
+	case "table2":
+		err = cmdTable2(os.Args[2:])
+	case "hunt":
+		err = cmdHunt(os.Args[2:])
+	case "longrun":
+		err = cmdLongRun(os.Args[2:])
+	case "ablation":
+		err = cmdAblation(os.Args[2:])
+	case "baseline":
+		err = cmdBaseline(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "symv: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "symv:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `symv — symbolic co-simulation verification of a RISC-V RTL core
+
+commands:
+  table1    regenerate the Table I error/mismatch catalogue
+  table2    regenerate the Table II error-injection study
+  hunt      hunt one injected fault (or the shipped bugs)
+  longrun   budgeted comprehensive exploration statistics
+  ablation  sliced-register or instruction-limit ablation
+  baseline  compare symbolic execution against fuzzing baselines
+  replay    re-execute a test vector (name=hexvalue pairs) against a fault`)
+}
+
+func cmdTable1(args []string) error {
+	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+	probeTime := fs.Duration("probe-time", 60*time.Second, "exploration budget per probe scenario")
+	maxPaths := fs.Int("max-paths", 5000, "path budget per probe scenario")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of the table")
+	fs.Parse(args)
+
+	res := harness.RunTable1(harness.Table1Options{
+		PerProbeTime:     *probeTime,
+		PerProbeMaxPaths: *maxPaths,
+	})
+	if *jsonOut {
+		return json.NewEncoder(os.Stdout).Encode(res)
+	}
+	fmt.Print(res.Format())
+	fmt.Printf("campaign wall time: %s\n", res.Elapsed.Round(time.Millisecond))
+	return nil
+}
+
+func cmdTable2(args []string) error {
+	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+	cellTime := fs.Duration("cell-time", 60*time.Second, "budget per (fault, limit) cell")
+	limitsArg := fs.String("limits", "1,2", "comma-separated instruction limits")
+	faultsArg := fs.String("faults", "", "comma-separated fault subset (default all)")
+	parallel := fs.Int("parallel", 1, "concurrent cells (each with its own solver)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of the table")
+	dutArg := fs.String("dut", "microrv32", "device under test: microrv32 | pipeline")
+	fs.Parse(args)
+
+	var dut harness.DUTKind
+	switch strings.ToLower(*dutArg) {
+	case "microrv32", "":
+		dut = harness.DUTMicroRV32
+	case "pipeline", "pipecore":
+		dut = harness.DUTPipeline
+	default:
+		return fmt.Errorf("unknown DUT %q", *dutArg)
+	}
+
+	limits, err := parseInts(*limitsArg)
+	if err != nil {
+		return fmt.Errorf("bad -limits: %w", err)
+	}
+	var fset []faults.Fault
+	if *faultsArg != "" {
+		fset, err = parseFaults(*faultsArg)
+		if err != nil {
+			return err
+		}
+	}
+	res := harness.RunTable2(harness.Table2Options{
+		PerCellTime: *cellTime,
+		Limits:      limits,
+		Faults:      fset,
+		Parallel:    *parallel,
+		DUT:         dut,
+	})
+	if *jsonOut {
+		return json.NewEncoder(os.Stdout).Encode(res)
+	}
+	fmt.Print(res.Format())
+	fmt.Printf("campaign wall time: %s\n", res.Elapsed.Round(time.Millisecond))
+	return nil
+}
+
+func cmdHunt(args []string) error {
+	fs := flag.NewFlagSet("hunt", flag.ExitOnError)
+	faultArg := fs.String("fault", "", "fault to inject (E0..E9); empty = none")
+	limit := fs.Int("limit", 1, "instruction limit")
+	shipped := fs.Bool("shipped", false, "use the as-shipped (buggy) core and VP instead of the fixed baseline")
+	regs := fs.Int("regs", 2, "symbolic register slice size")
+	budget := fs.Duration("time", 60*time.Second, "exploration budget")
+	all := fs.Bool("all", false, "collect all findings instead of stopping at the first")
+	search := fs.String("search", "dfs", "search strategy: dfs | bfs | random")
+	seed := fs.Int64("seed", 0, "seed for the random-path strategy")
+	progress := fs.Bool("progress", false, "print live exploration statistics")
+	irq := fs.Bool("interrupts", false, "drive a symbolic external-interrupt line")
+	irqBug := fs.Bool("mie-bug", false, "inject the missing-MIE-gate interrupt fault")
+	fs.Parse(args)
+
+	strategy, err := parseSearch(*search)
+	if err != nil {
+		return err
+	}
+
+	coreCfg := microrv32.FixedConfig()
+	issCfg := iss.FixedConfig()
+	filter := cosim.BlockSystemInstructions
+	if *shipped {
+		coreCfg = microrv32.ShippedConfig()
+		issCfg = iss.VPConfig()
+		filter = nil
+	}
+	if *faultArg != "" {
+		fv, err := parseFaults(*faultArg)
+		if err != nil {
+			return err
+		}
+		coreCfg.Faults = faults.Of(fv...)
+	}
+
+	if *irqBug {
+		coreCfg.IgnoreMIEBug = true
+	}
+	cfg := cosim.Config{
+		ISS:                issCfg,
+		Core:               coreCfg,
+		Filter:             filter,
+		InstrLimit:         *limit,
+		NumSymbolicRegs:    *regs,
+		SymbolicInterrupts: *irq || *irqBug,
+	}
+	if cfg.SymbolicInterrupts {
+		cfg.StartPC = 0x100
+	}
+	x := core.NewExplorer(cosim.RunFunc(cfg))
+	opts := core.Options{
+		StopOnFirstFinding: !*all,
+		MaxTime:            *budget,
+		Search:             strategy,
+		Seed:               *seed,
+	}
+	if *progress {
+		opts.Progress = func(s core.Stats) { fmt.Fprintf(os.Stderr, "  ... %v\n", s) }
+	}
+	rep := x.Explore(opts)
+
+	fmt.Printf("exploration: %v (exhausted=%v)\n", rep.Stats, rep.Exhausted)
+	if len(rep.Findings) == 0 {
+		fmt.Println("no mismatch found")
+		return nil
+	}
+	for i, f := range rep.Findings {
+		fmt.Printf("finding %d: %v\n", i+1, f.Err)
+		if len(f.Inputs) > 0 {
+			fmt.Printf("  witness inputs:\n")
+			for _, k := range sortedKeys(f.Inputs) {
+				fmt.Printf("    %-14s = %#010x\n", k, f.Inputs[k])
+			}
+		}
+	}
+	return nil
+}
+
+func cmdLongRun(args []string) error {
+	fs := flag.NewFlagSet("longrun", flag.ExitOnError)
+	budget := fs.Duration("budget", 30*time.Second, "exploration budget")
+	limit := fs.Int("limit", 1, "instruction limit")
+	regs := fs.Int("regs", 2, "symbolic register slice size")
+	coverage := fs.Bool("coverage", false, "print test-set instruction coverage")
+	fs.Parse(args)
+
+	res := harness.RunLongRun(*budget, *limit, *regs)
+	fmt.Print(res.Format())
+	if *coverage {
+		cov := harness.Coverage(harness.TestSetInputs(res.Report))
+		fmt.Print(cov.Format())
+	}
+	return nil
+}
+
+func cmdAblation(args []string) error {
+	fs := flag.NewFlagSet("ablation", flag.ExitOnError)
+	kind := fs.String("kind", "regs", "ablation kind: regs | limit")
+	budget := fs.Duration("budget", 15*time.Second, "budget per configuration point")
+	fs.Parse(args)
+
+	switch *kind {
+	case "regs":
+		res := harness.RunRegSliceAblation(nil, *budget, 0)
+		fmt.Print(res.Format())
+	case "limit":
+		pts := harness.RunLimitAblation([]int{1, 2}, *budget, 0)
+		fmt.Print(harness.FormatLimitAblation(pts))
+	default:
+		return fmt.Errorf("unknown ablation kind %q", *kind)
+	}
+	return nil
+}
+
+func cmdBaseline(args []string) error {
+	fs := flag.NewFlagSet("baseline", flag.ExitOnError)
+	cellTime := fs.Duration("cell-time", 20*time.Second, "budget per cell")
+	trials := fs.Int("trials", 200000, "fuzzing trial budget per cell")
+	faultsArg := fs.String("faults", "", "comma-separated fault subset (default all)")
+	seed := fs.Int64("seed", 1, "fuzzing seed")
+	fs.Parse(args)
+
+	var fset []faults.Fault
+	if *faultsArg != "" {
+		var err error
+		fset, err = parseFaults(*faultsArg)
+		if err != nil {
+			return err
+		}
+	}
+	res := harness.RunBaseline(harness.BaselineOptions{
+		PerCellTime: *cellTime,
+		MaxTrials:   *trials,
+		Faults:      fset,
+		Seed:        *seed,
+	})
+	fmt.Print(res.Format())
+	fmt.Printf("campaign wall time: %s\n", res.Elapsed.Round(time.Millisecond))
+	return nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	faultArg := fs.String("fault", "", "fault to inject (E0..E9); empty = none")
+	limit := fs.Int("limit", 1, "instruction limit")
+	shipped := fs.Bool("shipped", false, "use the as-shipped core and VP")
+	trace := fs.Bool("trace", false, "print a per-cycle execution trace")
+	fs.Parse(args)
+
+	vector := make(smt.MapEnv)
+	for _, kv := range fs.Args() {
+		name, valStr, ok := strings.Cut(kv, "=")
+		if !ok {
+			return fmt.Errorf("replay: want name=hexvalue, got %q", kv)
+		}
+		v, err := strconv.ParseUint(strings.TrimPrefix(valStr, "0x"), 16, 64)
+		if err != nil {
+			return fmt.Errorf("replay: bad value in %q: %w", kv, err)
+		}
+		vector[name] = v
+	}
+	if len(vector) == 0 {
+		return fmt.Errorf("replay: no test-vector assignments given")
+	}
+
+	coreCfg := microrv32.FixedConfig()
+	issCfg := iss.FixedConfig()
+	if *shipped {
+		coreCfg = microrv32.ShippedConfig()
+		issCfg = iss.VPConfig()
+	}
+	if *faultArg != "" {
+		fv, err := parseFaults(*faultArg)
+		if err != nil {
+			return err
+		}
+		coreCfg.Faults = faults.Of(fv...)
+	}
+	cfg := cosim.Config{ISS: issCfg, Core: coreCfg, InstrLimit: *limit}
+	if *trace {
+		cfg.Trace = os.Stdout
+	}
+	m, err := cosim.Replay(cfg, vector)
+	if err != nil {
+		return err
+	}
+	if m == nil {
+		fmt.Println("vector reproduces no mismatch")
+		return nil
+	}
+	fmt.Printf("reproduced: %v\n", m)
+	return nil
+}
+
+func parseSearch(s string) (core.SearchStrategy, error) {
+	switch strings.ToLower(s) {
+	case "dfs", "":
+		return core.SearchDFS, nil
+	case "bfs":
+		return core.SearchBFS, nil
+	case "random", "random-path":
+		return core.SearchRandom, nil
+	}
+	return 0, fmt.Errorf("unknown search strategy %q", s)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFaults(s string) ([]faults.Fault, error) {
+	var out []faults.Fault
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(strings.ToUpper(part))
+		found := false
+		for _, f := range faults.All() {
+			if f.String() == part {
+				out = append(out, f)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("unknown fault %q (want E0..E9)", part)
+		}
+	}
+	return out, nil
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

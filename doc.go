@@ -1,0 +1,12 @@
+// Package symriscv is a from-scratch Go reproduction of "Processor
+// Verification using Symbolic Execution: A RISC-V Case-Study" (Bruns, Herdt,
+// Drechsler — DATE 2023): cross-level processor verification that
+// co-simulates an RTL RISC-V core against an instruction-set-simulator
+// reference model under a symbolic execution engine, searching for
+// satisfiable functional mismatches and emitting concrete test vectors.
+//
+// The implementation lives under internal/ (see DESIGN.md for the module
+// map), is exercised by the symv command and the runnable examples, and
+// regenerates the paper's evaluation via the benchmarks in bench_test.go
+// and the runners in internal/harness.
+package symriscv

@@ -1,0 +1,62 @@
+// Alignment walk-through: demonstrates how the misaligned load/store
+// mismatches of Table I are discovered. The shipped MicroRV32 fully supports
+// misaligned accesses (splitting them over two bus words) while the VP ISS
+// raises address-misaligned traps — both are legal RISC-V implementations,
+// which is exactly why cross-level mismatch detection matters.
+//
+// Run with: go run ./examples/alignment
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"symriscv/internal/core"
+	"symriscv/internal/cosim"
+	"symriscv/internal/iss"
+	"symriscv/internal/microrv32"
+	"symriscv/internal/riscv"
+)
+
+func main() {
+	// Constrain generation to the LOAD opcode so the exploration focuses on
+	// the alignment behaviour (the paper's klee_assume scenario steering).
+	cfg := cosim.Config{
+		ISS:        iss.VPConfig(),
+		Core:       microrv32.ShippedConfig(),
+		Filter:     cosim.OnlyOpcode(riscv.OpLoad),
+		InstrLimit: 1,
+	}
+
+	fmt.Println("exploring the LOAD instruction class: shipped core (misaligned OK)")
+	fmt.Println("vs VP ISS (misaligned traps) ...")
+
+	x := core.NewExplorer(cosim.RunFunc(cfg))
+	rep := x.Explore(core.Options{MaxTime: 60 * time.Second})
+
+	fmt.Printf("\n%v\n\n", rep.Stats)
+	if len(rep.Findings) == 0 {
+		log.Fatal("expected misalignment mismatches, found none")
+	}
+
+	seen := map[string]bool{}
+	for _, f := range rep.Findings {
+		var m *cosim.Mismatch
+		if !errors.As(f.Err, &m) {
+			continue
+		}
+		mn := riscv.Decode(m.Insn).Mn.String()
+		if seen[mn] {
+			continue
+		}
+		seen[mn] = true
+		fmt.Printf("%-5s %-26s RTL trap=%-5v ISS trap=%-5v  ea witness: rs1+imm misaligned\n",
+			mn, m.Disasm, m.RTLTrap, m.ISSTrap)
+	}
+	fmt.Println("\nEach row is one instruction whose effective address the engine could")
+	fmt.Println("steer onto a misaligned value: the ISS branches on the alignment check,")
+	fmt.Println("the RTL core's lane-select mux forks over the low address bits, and the")
+	fmt.Println("voter proves the trap disagreement satisfiable.")
+}

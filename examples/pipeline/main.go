@@ -1,0 +1,62 @@
+// Pipeline: the generality study as a runnable example. The same symbolic
+// co-simulation testbench — unchanged voter, memories, sliced registers —
+// verifies a completely different microarchitecture: the fetch-overlapped
+// pipelined core of internal/pipecore. The example first shows the clean
+// pipelined core agreeing with the reference ISS over the exhaustively
+// explored one-instruction space, then injects the decode fault E0 and lets
+// the engine find the reserved-encoding counterexample that random testing
+// cannot generate.
+//
+// Run with: go run ./examples/pipeline
+package main
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"time"
+
+	"symriscv/internal/core"
+	"symriscv/internal/cosim"
+	"symriscv/internal/faults"
+	"symriscv/internal/iss"
+	"symriscv/internal/pipecore"
+	"symriscv/internal/riscv"
+)
+
+func pipelineConfig(f faults.Set) cosim.Config {
+	return cosim.Config{
+		ISS:    iss.FixedConfig(),
+		Filter: cosim.BlockSystemInstructions,
+		NewDUT: func(eng *core.Engine) cosim.DUT {
+			return pipecore.New(eng, pipecore.Config{Faults: f})
+		},
+	}
+}
+
+func main() {
+	fmt.Println("== 1. clean pipelined core vs reference ISS (exhaustive, 1 instruction)")
+	x := core.NewExplorer(cosim.RunFunc(pipelineConfig(faults.None)))
+	rep := x.Explore(core.Options{MaxTime: 120 * time.Second})
+	if len(rep.Findings) != 0 {
+		log.Fatalf("unexpected divergence: %v", rep.Findings[0].Err)
+	}
+	fmt.Printf("   agreement over the full space: %v (exhausted=%v)\n\n", rep.Stats, rep.Exhausted)
+
+	fmt.Println("== 2. inject E0:", faults.E0.Description())
+	x = core.NewExplorer(cosim.RunFunc(pipelineConfig(faults.Only(faults.E0))))
+	rep = x.Explore(core.Options{StopOnFirstFinding: true, MaxTime: 120 * time.Second})
+	if len(rep.Findings) == 0 {
+		log.Fatalf("E0 not found: %v", rep.Stats)
+	}
+	var m *cosim.Mismatch
+	if !errors.As(rep.Findings[0].Err, &m) {
+		log.Fatalf("unexpected finding: %v", rep.Findings[0].Err)
+	}
+	fmt.Printf("   found in %s after %d paths\n", rep.Stats.Elapsed.Round(time.Millisecond), rep.Stats.Paths)
+	fmt.Printf("   witness: %s (word 0x%08x)\n", m.Disasm, m.Insn)
+	fmt.Printf("   bit 25 set: %v — the RV32-reserved shift encoding the faulty\n", m.Insn>>25&1 == 1)
+	fmt.Println("   decode table mis-accepts as SLLI while the ISS raises illegal-instruction.")
+	in := riscv.Decode(m.Insn)
+	fmt.Printf("   (strict decode classifies the word as %q)\n", in.Mn)
+}

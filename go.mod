@@ -1,0 +1,3 @@
+module symriscv
+
+go 1.22

@@ -1,0 +1,601 @@
+// Package bitblast lowers smt terms to CNF over a sat.Solver (Tseitin
+// encoding). Each bit-vector term maps to a little-endian vector of SAT
+// literals; each Boolean term maps to one literal. Encodings are cached per
+// term identity, and gate outputs are cached per input-literal pair, so a
+// Blaster can serve many incremental queries against one growing SAT
+// instance — the mechanism the symbolic execution engine relies on for
+// cheap per-path feasibility checks.
+package bitblast
+
+import (
+	"fmt"
+
+	"symriscv/internal/sat"
+	"symriscv/internal/smt"
+)
+
+// Blaster encodes terms from one smt.Context into one sat.Solver.
+type Blaster struct {
+	ctx *smt.Context
+	sat *sat.Solver
+
+	bvBits  map[uint32][]sat.Lit // term ID -> bits, LSB first
+	boolLit map[uint32]sat.Lit
+
+	gates map[gateKey]sat.Lit
+
+	lTrue  sat.Lit
+	lFalse sat.Lit
+}
+
+type gateOp uint8
+
+const (
+	gAnd gateOp = iota
+	gOr
+	gXor
+	gMux // s ? a : b; key fields (s, a, b) in c, a, b order
+)
+
+type gateKey struct {
+	op      gateOp
+	a, b, c sat.Lit
+}
+
+// New returns a Blaster targeting the given SAT solver. The solver gains one
+// reserved variable that is constrained to true.
+func New(ctx *smt.Context, s *sat.Solver) *Blaster {
+	b := &Blaster{
+		ctx:     ctx,
+		sat:     s,
+		bvBits:  make(map[uint32][]sat.Lit),
+		boolLit: make(map[uint32]sat.Lit),
+		gates:   make(map[gateKey]sat.Lit),
+	}
+	v := s.NewVar()
+	b.lTrue = sat.MkLit(v, false)
+	b.lFalse = b.lTrue.Neg()
+	s.AddClause(b.lTrue)
+	return b
+}
+
+// LitTrue returns the solver literal that is constrained to true.
+func (b *Blaster) LitTrue() sat.Lit { return b.lTrue }
+
+func (b *Blaster) constLit(v bool) sat.Lit {
+	if v {
+		return b.lTrue
+	}
+	return b.lFalse
+}
+
+func (b *Blaster) freshLit() sat.Lit { return sat.MkLit(b.sat.NewVar(), false) }
+
+// mkAnd returns a literal equivalent to a AND b.
+func (b *Blaster) mkAnd(a, c sat.Lit) sat.Lit {
+	if a == b.lFalse || c == b.lFalse {
+		return b.lFalse
+	}
+	if a == b.lTrue {
+		return c
+	}
+	if c == b.lTrue {
+		return a
+	}
+	if a == c {
+		return a
+	}
+	if a == c.Neg() {
+		return b.lFalse
+	}
+	if a > c {
+		a, c = c, a
+	}
+	k := gateKey{op: gAnd, a: a, b: c}
+	if o, ok := b.gates[k]; ok {
+		return o
+	}
+	o := b.freshLit()
+	b.sat.AddClause(o.Neg(), a)
+	b.sat.AddClause(o.Neg(), c)
+	b.sat.AddClause(o, a.Neg(), c.Neg())
+	b.gates[k] = o
+	return o
+}
+
+func (b *Blaster) mkOr(a, c sat.Lit) sat.Lit {
+	return b.mkAnd(a.Neg(), c.Neg()).Neg()
+}
+
+// mkXor returns a literal equivalent to a XOR b.
+func (b *Blaster) mkXor(a, c sat.Lit) sat.Lit {
+	if a == b.lFalse {
+		return c
+	}
+	if c == b.lFalse {
+		return a
+	}
+	if a == b.lTrue {
+		return c.Neg()
+	}
+	if c == b.lTrue {
+		return a.Neg()
+	}
+	if a == c {
+		return b.lFalse
+	}
+	if a == c.Neg() {
+		return b.lTrue
+	}
+	// Normalise polarity so xor(a,b), xor(~a,b) share structure: fold the
+	// output negation out of negated inputs.
+	neg := false
+	if a.Sign() {
+		a = a.Neg()
+		neg = !neg
+	}
+	if c.Sign() {
+		c = c.Neg()
+		neg = !neg
+	}
+	if a > c {
+		a, c = c, a
+	}
+	k := gateKey{op: gXor, a: a, b: c}
+	o, ok := b.gates[k]
+	if !ok {
+		o = b.freshLit()
+		b.sat.AddClause(o.Neg(), a, c)
+		b.sat.AddClause(o.Neg(), a.Neg(), c.Neg())
+		b.sat.AddClause(o, a.Neg(), c)
+		b.sat.AddClause(o, a, c.Neg())
+		b.gates[k] = o
+	}
+	if neg {
+		return o.Neg()
+	}
+	return o
+}
+
+// mkMux returns a literal equivalent to (s ? t : f).
+func (b *Blaster) mkMux(s, t, f sat.Lit) sat.Lit {
+	if s == b.lTrue {
+		return t
+	}
+	if s == b.lFalse {
+		return f
+	}
+	if t == f {
+		return t
+	}
+	if t == f.Neg() {
+		return b.mkXor(s, f)
+	}
+	if t == b.lTrue {
+		return b.mkOr(s, f)
+	}
+	if t == b.lFalse {
+		return b.mkAnd(s.Neg(), f)
+	}
+	if f == b.lTrue {
+		return b.mkOr(s.Neg(), t)
+	}
+	if f == b.lFalse {
+		return b.mkAnd(s, t)
+	}
+	k := gateKey{op: gMux, c: s, a: t, b: f}
+	if o, ok := b.gates[k]; ok {
+		return o
+	}
+	o := b.freshLit()
+	b.sat.AddClause(s.Neg(), t.Neg(), o)
+	b.sat.AddClause(s.Neg(), t, o.Neg())
+	b.sat.AddClause(s, f.Neg(), o)
+	b.sat.AddClause(s, f, o.Neg())
+	// Redundant but propagation-strengthening clauses.
+	b.sat.AddClause(t.Neg(), f.Neg(), o)
+	b.sat.AddClause(t, f, o.Neg())
+	b.gates[k] = o
+	return o
+}
+
+// fullAdder returns (sum, carryOut) of a + b + cin.
+func (b *Blaster) fullAdder(a, c, cin sat.Lit) (sum, cout sat.Lit) {
+	axb := b.mkXor(a, c)
+	sum = b.mkXor(axb, cin)
+	cout = b.mkOr(b.mkAnd(a, c), b.mkAnd(axb, cin))
+	return sum, cout
+}
+
+// Bits returns the literal vector (LSB first) encoding the bit-vector term t,
+// encoding it (and its cone) on first use.
+func (b *Blaster) Bits(t *smt.Term) []sat.Lit {
+	if t.IsBool() {
+		panic("bitblast: Bits on Boolean term")
+	}
+	if bits, ok := b.bvBits[t.ID()]; ok {
+		return bits
+	}
+	bits := b.encodeBV(t)
+	if len(bits) != t.Width() {
+		panic(fmt.Sprintf("bitblast: internal: %v encoded to %d bits, want %d", t.Kind(), len(bits), t.Width()))
+	}
+	b.bvBits[t.ID()] = bits
+	return bits
+}
+
+// LitFor returns the literal encoding the Boolean term t.
+func (b *Blaster) LitFor(t *smt.Term) sat.Lit {
+	if !t.IsBool() {
+		panic("bitblast: LitFor on bit-vector term")
+	}
+	if l, ok := b.boolLit[t.ID()]; ok {
+		return l
+	}
+	l := b.encodeBool(t)
+	b.boolLit[t.ID()] = l
+	return l
+}
+
+func (b *Blaster) encodeBV(t *smt.Term) []sat.Lit {
+	w := t.Width()
+	switch t.Kind() {
+	case smt.KConst:
+		v := t.ConstVal()
+		bits := make([]sat.Lit, w)
+		for i := range bits {
+			bits[i] = b.constLit(v>>uint(i)&1 == 1)
+		}
+		return bits
+
+	case smt.KVar:
+		bits := make([]sat.Lit, w)
+		for i := range bits {
+			bits[i] = b.freshLit()
+		}
+		return bits
+
+	case smt.KAdd:
+		a := b.Bits(t.Arg(0))
+		c := b.Bits(t.Arg(1))
+		return b.adder(a, c, b.lFalse)
+
+	case smt.KSub:
+		a := b.Bits(t.Arg(0))
+		c := negBits(b.Bits(t.Arg(1)))
+		return b.adder(a, c, b.lTrue)
+
+	case smt.KNeg:
+		a := b.Bits(t.Arg(0))
+		zero := make([]sat.Lit, w)
+		for i := range zero {
+			zero[i] = b.lFalse
+		}
+		return b.adder(zero, negBits(a), b.lTrue)
+
+	case smt.KMul:
+		return b.multiplier(b.Bits(t.Arg(0)), b.Bits(t.Arg(1)))
+
+	case smt.KUDiv, smt.KURem:
+		av := b.Bits(t.Arg(0))
+		cv := b.Bits(t.Arg(1))
+		q, r := b.divider(av, cv)
+		// SMT-LIB division-by-zero semantics.
+		bz := b.lTrue
+		for _, l := range cv {
+			bz = b.mkAnd(bz, l.Neg())
+		}
+		out := make([]sat.Lit, w)
+		for i := 0; i < w; i++ {
+			if t.Kind() == smt.KUDiv {
+				out[i] = b.mkMux(bz, b.lTrue, q[i])
+			} else {
+				out[i] = b.mkMux(bz, av[i], r[i])
+			}
+		}
+		return out
+
+	case smt.KAnd, smt.KOr, smt.KXor:
+		a := b.Bits(t.Arg(0))
+		c := b.Bits(t.Arg(1))
+		bits := make([]sat.Lit, w)
+		for i := range bits {
+			switch t.Kind() {
+			case smt.KAnd:
+				bits[i] = b.mkAnd(a[i], c[i])
+			case smt.KOr:
+				bits[i] = b.mkOr(a[i], c[i])
+			default:
+				bits[i] = b.mkXor(a[i], c[i])
+			}
+		}
+		return bits
+
+	case smt.KNot:
+		return negBits(b.Bits(t.Arg(0)))
+
+	case smt.KShl:
+		return b.shifter(t.Arg(0), t.Arg(1), shiftLeft)
+	case smt.KLshr:
+		return b.shifter(t.Arg(0), t.Arg(1), shiftRightLogical)
+	case smt.KAshr:
+		return b.shifter(t.Arg(0), t.Arg(1), shiftRightArith)
+
+	case smt.KConcat:
+		hi := b.Bits(t.Arg(0))
+		lo := b.Bits(t.Arg(1))
+		bits := make([]sat.Lit, 0, w)
+		bits = append(bits, lo...)
+		bits = append(bits, hi...)
+		return bits
+
+	case smt.KExtract:
+		hi, lo := t.ExtractBounds()
+		src := b.Bits(t.Arg(0))
+		bits := make([]sat.Lit, hi-lo+1)
+		copy(bits, src[lo:hi+1])
+		return bits
+
+	case smt.KZExt:
+		src := b.Bits(t.Arg(0))
+		bits := make([]sat.Lit, w)
+		copy(bits, src)
+		for i := len(src); i < w; i++ {
+			bits[i] = b.lFalse
+		}
+		return bits
+
+	case smt.KSExt:
+		src := b.Bits(t.Arg(0))
+		bits := make([]sat.Lit, w)
+		copy(bits, src)
+		msb := src[len(src)-1]
+		for i := len(src); i < w; i++ {
+			bits[i] = msb
+		}
+		return bits
+
+	case smt.KIte:
+		s := b.LitFor(t.Arg(0))
+		a := b.Bits(t.Arg(1))
+		c := b.Bits(t.Arg(2))
+		bits := make([]sat.Lit, w)
+		for i := range bits {
+			bits[i] = b.mkMux(s, a[i], c[i])
+		}
+		return bits
+	}
+	panic(fmt.Sprintf("bitblast: unsupported bit-vector kind %v", t.Kind()))
+}
+
+func negBits(a []sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(a))
+	for i, l := range a {
+		out[i] = l.Neg()
+	}
+	return out
+}
+
+// adder returns a + c + cin, discarding the final carry (modular semantics).
+func (b *Blaster) adder(a, c []sat.Lit, cin sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(a))
+	carry := cin
+	for i := range a {
+		out[i], carry = b.fullAdder(a[i], c[i], carry)
+	}
+	return out
+}
+
+// multiplier implements shift-and-add multiplication, keeping the low bits.
+func (b *Blaster) multiplier(a, c []sat.Lit) []sat.Lit {
+	w := len(a)
+	acc := make([]sat.Lit, w)
+	for i := range acc {
+		acc[i] = b.lFalse
+	}
+	for i := 0; i < w; i++ {
+		// Partial product: (a << i) AND c[i], added into acc.
+		row := make([]sat.Lit, w)
+		for j := range row {
+			if j < i {
+				row[j] = b.lFalse
+			} else {
+				row[j] = b.mkAnd(a[j-i], c[i])
+			}
+		}
+		acc = b.adder(acc, row, b.lFalse)
+	}
+	return acc
+}
+
+// adderCarry is the ripple adder variant that also returns the final carry.
+func (b *Blaster) adderCarry(a, c []sat.Lit, cin sat.Lit) (sum []sat.Lit, cout sat.Lit) {
+	sum = make([]sat.Lit, len(a))
+	carry := cin
+	for i := range a {
+		sum[i], carry = b.fullAdder(a[i], c[i], carry)
+	}
+	return sum, carry
+}
+
+// divider implements unsigned restoring long division, producing the
+// quotient and remainder bit vectors (callers overlay the division-by-zero
+// semantics).
+func (b *Blaster) divider(a, c []sat.Lit) (q, r []sat.Lit) {
+	w := len(a)
+	// (w+1)-bit remainder and divisor so the trial subtraction never wraps.
+	rem := make([]sat.Lit, w+1)
+	for i := range rem {
+		rem[i] = b.lFalse
+	}
+	cext := make([]sat.Lit, w+1)
+	copy(cext, c)
+	cext[w] = b.lFalse
+
+	q = make([]sat.Lit, w)
+	for i := w - 1; i >= 0; i-- {
+		// rem = (rem << 1) | a[i], dropping the (always-zero) top bit.
+		shifted := make([]sat.Lit, w+1)
+		shifted[0] = a[i]
+		copy(shifted[1:], rem[:w])
+		// Trial subtraction: diff = shifted - cext; carry-out == 1 means
+		// shifted >= cext.
+		diff, carry := b.adderCarry(shifted, negBits(cext), b.lTrue)
+		q[i] = carry
+		rem = make([]sat.Lit, w+1)
+		for j := range rem {
+			rem[j] = b.mkMux(carry, diff[j], shifted[j])
+		}
+	}
+	return q, rem[:w]
+}
+
+type shiftKind uint8
+
+const (
+	shiftLeft shiftKind = iota
+	shiftRightLogical
+	shiftRightArith
+)
+
+// shifter implements a barrel shifter controlled by the (possibly symbolic)
+// amount operand, with the SMT-LIB semantics for out-of-range amounts.
+func (b *Blaster) shifter(val, amount *smt.Term, kind shiftKind) []sat.Lit {
+	w := val.Width()
+	bits := b.Bits(val)
+	amt := b.Bits(amount)
+
+	fill := b.lFalse
+	if kind == shiftRightArith {
+		fill = bits[w-1]
+	}
+
+	cur := make([]sat.Lit, w)
+	copy(cur, bits)
+	for k := 0; (1 << uint(k)) < w; k++ {
+		sh := 1 << uint(k)
+		next := make([]sat.Lit, w)
+		for i := 0; i < w; i++ {
+			var shifted sat.Lit
+			switch kind {
+			case shiftLeft:
+				if i >= sh {
+					shifted = cur[i-sh]
+				} else {
+					shifted = b.lFalse
+				}
+			default:
+				if i+sh < w {
+					shifted = cur[i+sh]
+				} else {
+					shifted = fill
+				}
+			}
+			next[i] = b.mkMux(amt[k], shifted, cur[i])
+		}
+		cur = next
+	}
+
+	// If any amount bit at or above log2(w) is set, the whole value is
+	// shifted out.
+	overflow := b.lFalse
+	for k := 0; k < len(amt); k++ {
+		if (1 << uint(k)) >= w {
+			overflow = b.mkOr(overflow, amt[k])
+		}
+	}
+	if overflow != b.lFalse {
+		for i := 0; i < w; i++ {
+			cur[i] = b.mkMux(overflow, fill, cur[i])
+		}
+	}
+	return cur
+}
+
+func (b *Blaster) encodeBool(t *smt.Term) sat.Lit {
+	switch t.Kind() {
+	case smt.KTrue:
+		return b.lTrue
+	case smt.KFalse:
+		return b.lFalse
+
+	case smt.KEq:
+		a := b.Bits(t.Arg(0))
+		c := b.Bits(t.Arg(1))
+		acc := b.lTrue
+		for i := range a {
+			acc = b.mkAnd(acc, b.mkXor(a[i], c[i]).Neg())
+		}
+		return acc
+
+	case smt.KUlt:
+		return b.ultLit(b.Bits(t.Arg(0)), b.Bits(t.Arg(1)))
+	case smt.KUle:
+		return b.ultLit(b.Bits(t.Arg(1)), b.Bits(t.Arg(0))).Neg()
+	case smt.KSlt:
+		a := b.Bits(t.Arg(0))
+		c := b.Bits(t.Arg(1))
+		return b.ultLit(flipMSB(a), flipMSB(c))
+	case smt.KSle:
+		a := b.Bits(t.Arg(0))
+		c := b.Bits(t.Arg(1))
+		return b.ultLit(flipMSB(c), flipMSB(a)).Neg()
+
+	case smt.KBAnd:
+		return b.mkAnd(b.LitFor(t.Arg(0)), b.LitFor(t.Arg(1)))
+	case smt.KBOr:
+		return b.mkOr(b.LitFor(t.Arg(0)), b.LitFor(t.Arg(1)))
+	case smt.KBXor:
+		return b.mkXor(b.LitFor(t.Arg(0)), b.LitFor(t.Arg(1)))
+	case smt.KBNot:
+		return b.LitFor(t.Arg(0)).Neg()
+	case smt.KIte:
+		return b.mkMux(b.LitFor(t.Arg(0)), b.LitFor(t.Arg(1)), b.LitFor(t.Arg(2)))
+	}
+	panic(fmt.Sprintf("bitblast: unsupported Boolean kind %v", t.Kind()))
+}
+
+// ultLit builds the unsigned a < b comparator via a borrow chain.
+func (b *Blaster) ultLit(a, c []sat.Lit) sat.Lit {
+	lt := b.lFalse
+	for i := 0; i < len(a); i++ {
+		eq := b.mkXor(a[i], c[i]).Neg()
+		gtBit := b.mkAnd(a[i].Neg(), c[i])
+		lt = b.mkOr(gtBit, b.mkAnd(eq, lt))
+	}
+	return lt
+}
+
+func flipMSB(a []sat.Lit) []sat.Lit {
+	out := make([]sat.Lit, len(a))
+	copy(out, a)
+	out[len(a)-1] = out[len(a)-1].Neg()
+	return out
+}
+
+// ModelValue reads the value of t from the SAT model after a Sat answer.
+// The term must already have been encoded (directly or as part of a larger
+// encoded term).
+func (b *Blaster) ModelValue(t *smt.Term) (uint64, bool) {
+	if t.IsBool() {
+		l, ok := b.boolLit[t.ID()]
+		if !ok {
+			return 0, false
+		}
+		if b.sat.LitValue(l) {
+			return 1, true
+		}
+		return 0, true
+	}
+	bits, ok := b.bvBits[t.ID()]
+	if !ok {
+		return 0, false
+	}
+	var v uint64
+	for i, l := range bits {
+		if b.sat.LitValue(l) {
+			v |= 1 << uint(i)
+		}
+	}
+	return v, true
+}

@@ -1,0 +1,153 @@
+package bitblast
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"symriscv/internal/sat"
+	"symriscv/internal/smt"
+)
+
+// solveEq asserts t == want (width-w) plus the variable pins and solves.
+func solveEq(t *testing.T, ctx *smt.Context, b *Blaster, s *sat.Solver, conds ...*smt.Term) sat.Status {
+	t.Helper()
+	lits := make([]sat.Lit, len(conds))
+	for i, c := range conds {
+		lits[i] = b.LitFor(c)
+	}
+	return s.Solve(lits...)
+}
+
+func TestConstantBits(t *testing.T) {
+	ctx := smt.NewContext()
+	s := sat.New()
+	b := New(ctx, s)
+	bits := b.Bits(ctx.BV(8, 0xa5))
+	if len(bits) != 8 {
+		t.Fatalf("got %d bits", len(bits))
+	}
+	if s.Solve() != sat.Sat {
+		t.Fatal("trivial instance unsat")
+	}
+	v, ok := b.ModelValue(ctx.BV(8, 0xa5))
+	if !ok || v != 0xa5 {
+		t.Fatalf("ModelValue = %#x, %v", v, ok)
+	}
+}
+
+func TestGateCachingReusesLiterals(t *testing.T) {
+	ctx := smt.NewContext()
+	s := sat.New()
+	b := New(ctx, s)
+	x := ctx.Var("x", 16)
+	y := ctx.Var("y", 16)
+	sum := ctx.Add(x, y)
+	n1 := s.NumVars()
+	_ = b.Bits(sum)
+	n2 := s.NumVars()
+	if n2 <= n1 {
+		t.Fatal("encoding created no variables")
+	}
+	// Encoding the same term again must not grow the instance.
+	_ = b.Bits(sum)
+	_ = b.Bits(ctx.Add(y, x)) // commutative: interned to the same term
+	if s.NumVars() != n2 {
+		t.Fatalf("cache miss: vars grew %d -> %d", n2, s.NumVars())
+	}
+}
+
+func TestXorPolarityNormalisation(t *testing.T) {
+	ctx := smt.NewContext()
+	s := sat.New()
+	b := New(ctx, s)
+	x := ctx.Var("x", 1)
+	y := ctx.Var("y", 1)
+	a := b.Bits(ctx.Xor(x, y))[0]
+	c := b.Bits(ctx.Xor(x, ctx.Not(y)))[0]
+	if a != c.Neg() {
+		t.Fatal("xor with negated input should share the gate with flipped polarity")
+	}
+}
+
+func TestModelValueUnencoded(t *testing.T) {
+	ctx := smt.NewContext()
+	s := sat.New()
+	b := New(ctx, s)
+	x := ctx.Var("x", 8)
+	if _, ok := b.ModelValue(x); ok {
+		t.Fatal("unencoded term should report !ok")
+	}
+	_ = b.Bits(x)
+	if s.Solve() != sat.Sat {
+		t.Fatal("unsat?")
+	}
+	if _, ok := b.ModelValue(x); !ok {
+		t.Fatal("encoded term should report ok")
+	}
+}
+
+// TestRandomTermEquivalence is the package-local version of the solver
+// cross-check: for random small expressions and inputs, the CNF encoding
+// must agree with the evaluator.
+func TestRandomTermEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ctx := smt.NewContext()
+	s := sat.New()
+	b := New(ctx, s)
+	x := ctx.Var("x", 16)
+	y := ctx.Var("y", 16)
+
+	exprs := []func(a, c *smt.Term) *smt.Term{
+		func(a, c *smt.Term) *smt.Term { return ctx.Add(a, c) },
+		func(a, c *smt.Term) *smt.Term { return ctx.Sub(a, c) },
+		func(a, c *smt.Term) *smt.Term { return ctx.Mul(a, c) },
+		func(a, c *smt.Term) *smt.Term { return ctx.Neg(a) },
+		func(a, c *smt.Term) *smt.Term { return ctx.Shl(a, ctx.And(c, ctx.BV(16, 15))) },
+		func(a, c *smt.Term) *smt.Term { return ctx.Ashr(a, ctx.And(c, ctx.BV(16, 15))) },
+		func(a, c *smt.Term) *smt.Term { return ctx.Ite(ctx.Slt(a, c), a, c) },
+		func(a, c *smt.Term) *smt.Term { return ctx.Concat(ctx.Extract(a, 7, 0), ctx.Extract(c, 15, 8)) },
+		func(a, c *smt.Term) *smt.Term { return ctx.SExt(ctx.Extract(a, 11, 4), 16) },
+	}
+	for i := 0; i < 40; i++ {
+		e := exprs[i%len(exprs)](x, y)
+		xv := rng.Uint64() & 0xffff
+		yv := rng.Uint64() & 0xffff
+		want, err := smt.Eval(e, smt.MapEnv{"x": xv, "y": yv})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pins := []*smt.Term{
+			ctx.Eq(x, ctx.BV(16, xv)),
+			ctx.Eq(y, ctx.BV(16, yv)),
+		}
+		if got := solveEq(t, ctx, b, s, append(pins, ctx.Eq(e, ctx.BV(16, want)))...); got != sat.Sat {
+			t.Fatalf("iter %d: equality unsat (e=%v)", i, e)
+		}
+		if got := solveEq(t, ctx, b, s, append(pins, ctx.Ne(e, ctx.BV(16, want)))...); got != sat.Unsat {
+			t.Fatalf("iter %d: disequality sat (e=%v)", i, e)
+		}
+	}
+}
+
+// TestUltBoundaryProperty checks the comparator encoding at random points,
+// including equals.
+func TestUltBoundaryProperty(t *testing.T) {
+	f := func(a, c uint16) bool {
+		ctx := smt.NewContext()
+		s := sat.New()
+		b := New(ctx, s)
+		x := ctx.Var("x", 16)
+		y := ctx.Var("y", 16)
+		pinX := b.LitFor(ctx.Eq(x, ctx.BV(16, uint64(a))))
+		pinY := b.LitFor(ctx.Eq(y, ctx.BV(16, uint64(c))))
+		lt := b.LitFor(ctx.Ult(x, y))
+		if s.Solve(pinX, pinY, lt) == sat.Sat != (a < c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

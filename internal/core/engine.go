@@ -1,0 +1,343 @@
+// Package core implements the symbolic execution engine at the heart of the
+// verification methodology: the KLEE-role component that drives a
+// deterministic program (here: the processor co-simulation) over symbolic
+// values, forks at symbolic branches, prunes infeasible paths with the QF_BV
+// solver, and emits concrete test vectors.
+//
+// # Execution model
+//
+// A path is a sequence of events: Boolean branch decisions and
+// concretization choices. The Explorer re-runs the program from the start
+// for every path, replaying a recorded event prefix and flipping its final
+// branch (replay-based forking, in the spirit of execution-generated
+// testing). The program must be deterministic given the engine's answers:
+// all control decisions over symbolic data must flow through Branch/BranchBool
+// and all concrete extractions through Concretize.
+//
+// One smt.Context and one incremental solver are shared by every path of an
+// exploration. Program determinism means re-created terms intern to the very
+// same objects, so the solver's CNF encoding and learned clauses carry over
+// between paths — this is what makes thousands of per-path feasibility
+// queries affordable.
+package core
+
+import (
+	"fmt"
+
+	"symriscv/internal/smt"
+	"symriscv/internal/solver"
+)
+
+// AbortReason classifies why a path stopped before its program returned.
+type AbortReason uint8
+
+// Abort reasons.
+const (
+	AbortNone       AbortReason = iota
+	AbortInfeasible             // flipped branch or Assume contradicts the path constraints
+	AbortUnknown                // solver budget exhausted
+	AbortLimit                  // execution-controller limit reached mid-step
+)
+
+func (r AbortReason) String() string {
+	switch r {
+	case AbortInfeasible:
+		return "infeasible"
+	case AbortUnknown:
+		return "solver-unknown"
+	case AbortLimit:
+		return "limit"
+	}
+	return "none"
+}
+
+// abortError is the panic sentinel used to unwind a path.
+type abortError struct {
+	reason AbortReason
+	msg    string
+}
+
+func (a abortError) Error() string { return fmt.Sprintf("path abort (%s): %s", a.reason, a.msg) }
+
+type eventKind uint8
+
+const (
+	evBranch eventKind = iota
+	evConcretize
+)
+
+// event is one recorded engine interaction on a path.
+type event struct {
+	kind eventKind
+	dir  bool      // branch direction taken
+	val  uint64    // concretization value chosen
+	cond *smt.Term // branch condition (unpolarised) — replay sanity check
+	term *smt.Term // concretised term — replay sanity check
+	// noSibling marks a branch whose other direction is already known
+	// infeasible, so the explorer must not schedule it.
+	noSibling bool
+	// sibVerified marks a branch whose other direction was already proven
+	// feasible when the branch was taken, so the sibling replay can skip its
+	// feasibility check.
+	sibVerified bool
+}
+
+// Engine is the per-path symbolic execution interface handed to the program
+// under exploration. Methods panic with an internal sentinel to unwind the
+// path; the Explorer recovers it. An Engine is only valid during the Run
+// callback it was created for.
+type Engine struct {
+	ctx *smt.Context
+	sol *solver.Solver
+
+	prefix []event // events to replay; the last one is the flipped branch
+	events []event // events of this run (replayed + fresh)
+	pcs    []*smt.Term
+	pcsSet map[*smt.Term]struct{} // interned members of pcs, for implication shortcuts
+
+	symbolic []*smt.Term // variables created via MakeSymbolic, in order
+
+	instrRetired uint64
+	cycles       uint64
+
+	// noOpt disables the implication shortcut and eager sibling checks
+	// (Options.NoBranchOptimizations — the engine ablation).
+	noOpt bool
+
+	stats *Stats
+}
+
+func newEngine(ctx *smt.Context, sol *solver.Solver, prefix []event, stats *Stats) *Engine {
+	return &Engine{
+		ctx:    ctx,
+		sol:    sol,
+		prefix: prefix,
+		pcsSet: make(map[*smt.Term]struct{}, 64),
+		stats:  stats,
+	}
+}
+
+// Context returns the shared term context.
+func (e *Engine) Context() *smt.Context { return e.ctx }
+
+// MakeSymbolic returns the named symbolic bit-vector. Names must be chosen
+// deterministically by the program (e.g. derived from a memory address) so
+// replays re-create identical terms. Creating the same name twice returns
+// the same variable.
+func (e *Engine) MakeSymbolic(name string, width int) *smt.Term {
+	v := e.ctx.Var(name, width)
+	for _, s := range e.symbolic {
+		if s == v {
+			return v
+		}
+	}
+	e.symbolic = append(e.symbolic, v)
+	return v
+}
+
+// SymbolicInputs returns the variables registered through MakeSymbolic on
+// this path, in first-use order.
+func (e *Engine) SymbolicInputs() []*smt.Term { return e.symbolic }
+
+// PathConstraints returns the constraints accumulated so far.
+func (e *Engine) PathConstraints() []*smt.Term {
+	return append([]*smt.Term(nil), e.pcs...)
+}
+
+// Assume adds the condition to the path constraints, aborting the path if it
+// is (or makes the path) infeasible — the klee_assume analogue.
+func (e *Engine) Assume(cond *smt.Term) {
+	if v, ok := cond.IsBoolConst(); ok {
+		if !v {
+			panic(abortError{AbortInfeasible, "assume(false)"})
+		}
+		return
+	}
+	switch e.check(append(e.pcs, cond)...) {
+	case solver.Sat:
+		e.addPC(cond)
+	case solver.Unsat:
+		panic(abortError{AbortInfeasible, "assumption contradicts path: " + cond.String()})
+	default:
+		panic(abortError{AbortUnknown, "assume: solver budget exhausted"})
+	}
+}
+
+// Branch resolves the Boolean condition on this path, forking the
+// exploration when both directions are feasible. It returns the direction
+// taken; the path constraints are extended accordingly.
+func (e *Engine) Branch(cond *smt.Term) bool {
+	if !cond.IsBool() {
+		panic("core: Branch on bit-vector term")
+	}
+	if v, ok := cond.IsBoolConst(); ok {
+		return v // concrete control: no decision recorded
+	}
+	// Implication shortcut: conditions already entailed syntactically by a
+	// path constraint (typically the other model's identical decode
+	// condition) resolve without a decision, a solver query, or a fork.
+	if !e.noOpt {
+		if _, ok := e.pcsSet[cond]; ok {
+			return true
+		}
+		if _, ok := e.pcsSet[e.ctx.BNot(cond)]; ok {
+			return false
+		}
+	}
+
+	idx := len(e.events)
+	if idx < len(e.prefix) {
+		// Replay.
+		ev := e.prefix[idx]
+		if ev.kind != evBranch || ev.cond != cond {
+			panic(fmt.Sprintf("core: replay divergence at event %d: program is not deterministic (have %v)", idx, ev.kind))
+		}
+		e.events = append(e.events, ev)
+		e.addPC(polarise(e.ctx, cond, ev.dir))
+		if idx == len(e.prefix)-1 && !ev.sibVerified {
+			// This is the freshly flipped decision and its feasibility could
+			// not be proven when it was scheduled: verify it now.
+			switch e.check(e.pcs...) {
+			case solver.Unsat:
+				panic(abortError{AbortInfeasible, "flipped branch infeasible"})
+			case solver.Unknown:
+				panic(abortError{AbortUnknown, "flip check: solver budget exhausted"})
+			}
+		}
+		return ev.dir
+	}
+
+	// Fresh decision: try true first; its satisfiability check keeps the
+	// path-constraint invariant (pcs always satisfiable). The other
+	// direction is checked eagerly: on the forced chains of a decode most
+	// branches have exactly one feasible direction, and proving the sibling
+	// infeasible here avoids scheduling (and re-running) a dead path.
+	e.stats.Branches++
+	switch e.check(append(e.pcs, cond)...) {
+	case solver.Sat:
+		ev := event{kind: evBranch, dir: true, cond: cond}
+		if !e.noOpt {
+			switch e.check(append(e.pcs, e.ctx.BNot(cond))...) {
+			case solver.Unsat:
+				ev.noSibling = true
+			case solver.Sat:
+				ev.sibVerified = true
+			}
+		}
+		e.events = append(e.events, ev)
+		e.addPC(cond)
+		return true
+	case solver.Unsat:
+		// pcs are satisfiable and pcs∧cond is not, so pcs∧¬cond is.
+		e.events = append(e.events, event{kind: evBranch, dir: false, cond: cond, noSibling: true})
+		e.addPC(e.ctx.BNot(cond))
+		return false
+	default:
+		panic(abortError{AbortUnknown, "branch: solver budget exhausted"})
+	}
+}
+
+// BranchEq is a convenience for Branch(a == b).
+func (e *Engine) BranchEq(a, b *smt.Term) bool { return e.Branch(e.ctx.Eq(a, b)) }
+
+// Concretize picks a concrete value for the term that is consistent with the
+// path constraints, records it as a constraint (t == value), and returns it.
+// Constants short-circuit without a solver call.
+func (e *Engine) Concretize(t *smt.Term) uint64 {
+	if t.IsBool() {
+		panic("core: Concretize on Boolean term")
+	}
+	if t.IsConst() {
+		return t.ConstVal()
+	}
+
+	idx := len(e.events)
+	if idx < len(e.prefix) {
+		ev := e.prefix[idx]
+		if ev.kind != evConcretize || ev.term != t {
+			panic(fmt.Sprintf("core: replay divergence at event %d: expected concretization", idx))
+		}
+		e.events = append(e.events, ev)
+		e.addPC(e.ctx.Eq(t, e.ctx.BV(t.Width(), ev.val)))
+		return ev.val
+	}
+
+	e.stats.Concretizations++
+	switch e.check(e.pcs...) {
+	case solver.Unsat:
+		// Unreachable if the invariant holds; treat defensively.
+		panic(abortError{AbortInfeasible, "concretize: path constraints unsatisfiable"})
+	case solver.Unknown:
+		panic(abortError{AbortUnknown, "concretize: solver budget exhausted"})
+	}
+	v := e.sol.ModelValue(t)
+	e.events = append(e.events, event{kind: evConcretize, val: v, term: t})
+	e.addPC(e.ctx.Eq(t, e.ctx.BV(t.Width(), v)))
+	return v
+}
+
+// FindWitness reports whether cond is satisfiable together with the path
+// constraints and, if so, returns a full model. This is the voter's mismatch
+// query: it does not alter the path constraints.
+func (e *Engine) FindWitness(cond *smt.Term) (smt.MapEnv, bool) {
+	if v, ok := cond.IsBoolConst(); ok {
+		if !v {
+			return nil, false
+		}
+		// Trivially true: any model of the path constraints witnesses it.
+		if e.check(e.pcs...) != solver.Sat {
+			return nil, false
+		}
+		return e.sol.Model(), true
+	}
+	switch e.check(append(e.pcs, cond)...) {
+	case solver.Sat:
+		return e.sol.Model(), true
+	case solver.Unknown:
+		panic(abortError{AbortUnknown, "witness query: solver budget exhausted"})
+	}
+	return nil, false
+}
+
+// PathModel returns a model of the current path constraints, used to turn a
+// completed path into a concrete test vector.
+func (e *Engine) PathModel() (smt.MapEnv, bool) {
+	if e.check(e.pcs...) != solver.Sat {
+		return nil, false
+	}
+	return e.sol.Model(), true
+}
+
+// CountInstruction records n retired instructions (for the experiment
+// statistics mirroring the paper's executed-instruction counts).
+func (e *Engine) CountInstruction(n uint64) { e.instrRetired += n }
+
+// CountCycle records n simulated clock cycles.
+func (e *Engine) CountCycle(n uint64) { e.cycles += n }
+
+// InstructionsRetired returns this path's retired-instruction count.
+func (e *Engine) InstructionsRetired() uint64 { return e.instrRetired }
+
+// AbortLimitReached unwinds the path marking it partially explored; the
+// execution controller calls this when a hard mid-step limit trips.
+func (e *Engine) AbortLimitReached(msg string) {
+	panic(abortError{AbortLimit, msg})
+}
+
+func (e *Engine) addPC(t *smt.Term) {
+	e.pcs = append(e.pcs, t)
+	e.pcsSet[t] = struct{}{}
+}
+
+func (e *Engine) check(assumptions ...*smt.Term) solver.Result {
+	e.stats.SolverQueries++
+	return e.sol.Check(assumptions...)
+}
+
+// polarise returns cond or its negation according to dir.
+func polarise(ctx *smt.Context, cond *smt.Term, dir bool) *smt.Term {
+	if dir {
+		return cond
+	}
+	return ctx.BNot(cond)
+}

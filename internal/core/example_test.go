@@ -1,0 +1,29 @@
+package core_test
+
+import (
+	"fmt"
+
+	"symriscv/internal/core"
+)
+
+// Example explores a two-path program and prints the finding's witness
+// range, demonstrating the MakeSymbolic/Branch/witness workflow every model
+// in this repository is written against.
+func Example() {
+	x := core.NewExplorer(func(e *core.Engine) error {
+		ctx := e.Context()
+		v := e.MakeSymbolic("v", 8)
+		if e.Branch(ctx.Ult(v, ctx.BV(8, 16))) {
+			return fmt.Errorf("low input reached the error branch")
+		}
+		return nil
+	})
+	rep := x.Explore(core.Options{})
+	fmt.Println("paths:", rep.Stats.Paths)
+	fmt.Println("findings:", len(rep.Findings))
+	fmt.Println("witness in range:", rep.Findings[0].Inputs["v"] < 16)
+	// Output:
+	// paths: 2
+	// findings: 1
+	// witness in range: true
+}

@@ -1,0 +1,295 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"symriscv/internal/smt"
+	"symriscv/internal/solver"
+)
+
+// SearchStrategy selects the order in which scheduled paths are explored.
+type SearchStrategy uint8
+
+// Search strategies. DFS dives along one decode chain; BFS sweeps the
+// decision tree level by level; RandomPath picks uniformly from the frontier
+// (the spirit of KLEE's random-path searcher, deterministic via Options.Seed).
+const (
+	SearchDFS SearchStrategy = iota
+	SearchBFS
+	SearchRandom
+)
+
+func (s SearchStrategy) String() string {
+	switch s {
+	case SearchBFS:
+		return "bfs"
+	case SearchRandom:
+		return "random-path"
+	}
+	return "dfs"
+}
+
+// RunFunc is one deterministic execution of the program under exploration
+// (for processor verification: one co-simulation run). A nil return completes
+// the path; a non-nil error is recorded as a finding (e.g. a voter mismatch).
+type RunFunc func(*Engine) error
+
+// Options configure an exploration.
+type Options struct {
+	// MaxPaths bounds the number of paths started; 0 means unlimited.
+	MaxPaths int
+	// MaxTime bounds the wall-clock exploration time; 0 means unlimited.
+	MaxTime time.Duration
+	// MaxInstructions bounds the cumulative retired-instruction count
+	// across all paths; 0 means unlimited.
+	MaxInstructions uint64
+	// StopOnFirstFinding ends the exploration at the first finding.
+	StopOnFirstFinding bool
+	// GenerateTests records a concrete test vector for every completed path
+	// (KLEE's .ktest analogue).
+	GenerateTests bool
+	// Search selects the exploration order (default depth-first).
+	Search SearchStrategy
+	// Seed seeds the random-path strategy; ignored otherwise.
+	Seed int64
+	// SolverConflictBudget bounds each SAT query; 0 means unlimited.
+	// Exhausted queries abort their path as AbortUnknown.
+	SolverConflictBudget uint64
+	// Progress, when set, receives a statistics snapshot every
+	// ProgressEvery started paths (default 256).
+	Progress func(Stats)
+	// ProgressEvery sets the Progress callback period in paths.
+	ProgressEvery int
+	// NoBranchOptimizations disables the engine's implication shortcut and
+	// eager sibling-feasibility checks (ablation mode): siblings are
+	// scheduled optimistically and validated lazily on replay.
+	NoBranchOptimizations bool
+}
+
+// Stats aggregates exploration counters. The instruction and cycle counts
+// are whatever the program reported via CountInstruction/CountCycle — for
+// the co-simulation, retired instructions summed over both models and all
+// paths (see EXPERIMENTS.md for how this maps to the paper's counts).
+type Stats struct {
+	Paths        int // paths started
+	Completed    int // RunFunc returned nil
+	Partial      int // findings, limits, solver-unknown aborts
+	Infeasible   int // flipped branches that turned out unsatisfiable
+	Instructions uint64
+	Cycles       uint64
+
+	Branches        uint64
+	Concretizations uint64
+	SolverQueries   uint64
+	Elapsed         time.Duration
+	TermCount       int
+	SATVars         int
+}
+
+// Finding is a path that ended in an error (for the co-simulation: a voter
+// mismatch), together with a concrete witness restricted to that path's
+// symbolic inputs.
+type Finding struct {
+	Err    error
+	Inputs smt.MapEnv
+	Path   int // index of the path (in start order) that produced it
+}
+
+// TestVector is the concrete input assignment of a completed path.
+type TestVector struct {
+	Path   int
+	Inputs smt.MapEnv
+}
+
+// Report is the result of an exploration.
+type Report struct {
+	Stats       Stats
+	Findings    []Finding
+	TestVectors []TestVector
+	// Exhausted is true when the whole path tree was explored (the frontier
+	// emptied) rather than a budget expiring.
+	Exhausted bool
+}
+
+// Witnesser lets error values carry their own counterexample model;
+// the co-simulation voter's mismatch error implements it.
+type Witnesser interface {
+	Witness() smt.MapEnv
+}
+
+// Explorer drives repeated executions of a program over one shared term
+// context and solver.
+type Explorer struct {
+	ctx *smt.Context
+	sol *solver.Solver
+	run RunFunc
+}
+
+// NewExplorer returns an explorer for the program run.
+func NewExplorer(run RunFunc) *Explorer {
+	ctx := smt.NewContext()
+	return &Explorer{ctx: ctx, sol: solver.New(ctx), run: run}
+}
+
+// Context exposes the shared term context (for tests and tooling).
+func (x *Explorer) Context() *smt.Context { return x.ctx }
+
+// Explore runs the program over the whole feasible path tree, subject to the
+// option budgets.
+func (x *Explorer) Explore(opts Options) *Report {
+	start := time.Now()
+	x.sol.SetConflictBudget(opts.SolverConflictBudget)
+
+	rep := &Report{}
+	frontier := [][]event{nil} // the root path: empty prefix
+	rng := rand.New(rand.NewSource(opts.Seed))
+	progressEvery := opts.ProgressEvery
+	if progressEvery <= 0 {
+		progressEvery = 256
+	}
+
+	pop := func() []event {
+		switch opts.Search {
+		case SearchBFS:
+			p := frontier[0]
+			frontier = frontier[1:]
+			return p
+		case SearchRandom:
+			i := rng.Intn(len(frontier))
+			p := frontier[i]
+			frontier[i] = frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			return p
+		default:
+			p := frontier[len(frontier)-1]
+			frontier = frontier[:len(frontier)-1]
+			return p
+		}
+	}
+
+	for len(frontier) > 0 {
+		if opts.MaxPaths > 0 && rep.Stats.Paths >= opts.MaxPaths {
+			break
+		}
+		if opts.MaxTime > 0 && time.Since(start) >= opts.MaxTime {
+			break
+		}
+		if opts.MaxInstructions > 0 && rep.Stats.Instructions >= opts.MaxInstructions {
+			break
+		}
+
+		prefix := pop()
+		pathID := rep.Stats.Paths
+		rep.Stats.Paths++
+		if opts.Progress != nil && rep.Stats.Paths%progressEvery == 0 {
+			snap := rep.Stats
+			snap.Elapsed = time.Since(start)
+			opts.Progress(snap)
+		}
+
+		eng := newEngine(x.ctx, x.sol, prefix, &rep.Stats)
+		eng.noOpt = opts.NoBranchOptimizations
+		err, abort := x.runOne(eng)
+
+		rep.Stats.Instructions += eng.instrRetired
+		rep.Stats.Cycles += eng.cycles
+
+		switch {
+		case abort != nil && abort.reason == AbortInfeasible:
+			rep.Stats.Infeasible++
+			continue // no fresh decisions to fork from
+		case abort != nil:
+			rep.Stats.Partial++
+		case errors.Is(err, ErrStopExploration):
+			rep.Stats.Completed++
+			rep.Stats.Elapsed = time.Since(start)
+			x.fillSizes(rep)
+			return rep
+		case err != nil:
+			rep.Stats.Partial++
+			f := Finding{Err: err, Path: pathID}
+			if w, ok := err.(Witnesser); ok {
+				f.Inputs = filterInputs(w.Witness(), eng.symbolic)
+			} else if m, ok := eng.PathModel(); ok {
+				f.Inputs = filterInputs(m, eng.symbolic)
+			}
+			rep.Findings = append(rep.Findings, f)
+			if opts.StopOnFirstFinding {
+				rep.Stats.Elapsed = time.Since(start)
+				x.fillSizes(rep)
+				return rep
+			}
+		default:
+			rep.Stats.Completed++
+			if opts.GenerateTests {
+				if m, ok := eng.PathModel(); ok {
+					rep.TestVectors = append(rep.TestVectors, TestVector{
+						Path:   pathID,
+						Inputs: filterInputs(m, eng.symbolic),
+					})
+				}
+			}
+		}
+
+		// Schedule the unexplored sibling of every fresh branch decision.
+		for i := len(prefix); i < len(eng.events); i++ {
+			ev := eng.events[i]
+			if ev.kind != evBranch || ev.noSibling {
+				continue
+			}
+			sibling := make([]event, i+1)
+			copy(sibling, eng.events[:i])
+			flipped := ev
+			flipped.dir = !ev.dir
+			sibling[i] = flipped
+			frontier = append(frontier, sibling)
+		}
+	}
+
+	rep.Exhausted = len(frontier) == 0
+	rep.Stats.Elapsed = time.Since(start)
+	x.fillSizes(rep)
+	return rep
+}
+
+func (x *Explorer) fillSizes(rep *Report) {
+	rep.Stats.TermCount = x.ctx.NumTerms()
+	rep.Stats.SATVars = x.sol.NumSATVars()
+}
+
+// runOne executes one path, converting abort panics into a structured result.
+func (x *Explorer) runOne(eng *Engine) (err error, abort *abortError) {
+	defer func() {
+		if r := recover(); r != nil {
+			if a, ok := r.(abortError); ok {
+				abort = &a
+				return
+			}
+			panic(r)
+		}
+	}()
+	return x.run(eng), nil
+}
+
+func filterInputs(m smt.MapEnv, inputs []*smt.Term) smt.MapEnv {
+	out := make(smt.MapEnv, len(inputs))
+	for _, v := range inputs {
+		if val, ok := m[v.Name()]; ok {
+			out[v.Name()] = val
+		}
+	}
+	return out
+}
+
+// ErrStopExploration can be returned by a RunFunc to end the exploration
+// cleanly without recording a finding.
+var ErrStopExploration = errors.New("core: stop exploration")
+
+// String renders a compact single-line summary of the statistics.
+func (s Stats) String() string {
+	return fmt.Sprintf("paths=%d completed=%d partial=%d infeasible=%d instr=%d queries=%d elapsed=%s",
+		s.Paths, s.Completed, s.Partial, s.Infeasible, s.Instructions, s.SolverQueries, s.Elapsed.Round(time.Millisecond))
+}

@@ -1,0 +1,311 @@
+// Package cosim implements the symbolic co-simulation testbench of the
+// paper (§IV): it instantiates the RTL core and the reference ISS over one
+// engine, supplies both with identical symbolic instructions and data,
+// installs the sliced symbolic registers, clocks the core while servicing
+// its buses, steps the ISS at every retirement, and lets the voter search for
+// satisfiable architectural differences.
+package cosim
+
+import (
+	"fmt"
+	"io"
+
+	"symriscv/internal/core"
+	"symriscv/internal/iss"
+	"symriscv/internal/microrv32"
+	"symriscv/internal/riscv"
+	"symriscv/internal/rtl"
+	"symriscv/internal/rvfi"
+	"symriscv/internal/smt"
+)
+
+// DUT is the device-under-test contract the testbench drives: a clocked,
+// bus-accurate core model with an RVFI retirement port. internal/microrv32
+// (the MicroRV32 role) and internal/pipecore (a pipelined second core) both
+// satisfy it.
+type DUT interface {
+	Step(rtl.IBusResponse, rtl.DBusResponse) (rtl.IBusRequest, rtl.DBusRequest)
+	Retirement() *rvfi.Retirement
+	SetPC(pc uint32)
+	SetReg(i int, v *smt.Term)
+}
+
+// Config describes one co-simulation scenario.
+type Config struct {
+	// ISS selects the reference-model behaviour (default: as-shipped VP).
+	ISS iss.Config
+	// Core selects the DUT behaviour (shipped bugs and/or injected faults)
+	// of the default MicroRV32 model.
+	Core microrv32.Config
+	// NewDUT overrides the device under test (default: a MicroRV32 core
+	// built from the Core field).
+	NewDUT func(eng *core.Engine) DUT
+
+	// NumSymbolicRegs is the size of the symbolic register slice (x1..xN
+	// fully symbolic; x0 hardwired zero; the rest concrete zero). The paper
+	// shows 2 suffices for RV32I (no instruction has more than two source
+	// registers) while keeping the state space minimal (§IV-C.3).
+	NumSymbolicRegs int
+
+	// InstrLimit is the execution controller's retired-instruction bound
+	// per path (the paper evaluates limits 1 and 2).
+	InstrLimit int
+
+	// CycleLimit bounds the total clock cycles per path; 0 derives a bound
+	// from InstrLimit. Exceeding it aborts the path (partially explored).
+	CycleLimit int
+
+	// Filter constrains generated instruction words (klee_assume analogue).
+	Filter InstrFilter
+
+	// StartPC is the reset PC of both models.
+	StartPC uint32
+
+	// SymbolicInterrupts drives a symbolic machine-external-interrupt line
+	// (one 1-bit input per instruction slot) into both models and makes the
+	// initial mstatus and mie values symbolic shared state — the interrupt
+	// extension of the methodology.
+	SymbolicInterrupts bool
+
+	// Pin fixes symbolic inputs (by MakeSymbolic name) to concrete values.
+	// With every input pinned the co-simulation collapses to a single
+	// concrete path — the test-vector replay mode (KLEE's ktest replay
+	// analogue).
+	Pin smt.MapEnv
+
+	// Trace, when non-nil, receives a per-cycle log of bus activity and
+	// retirements — the debugging view of a co-simulation run (most useful
+	// together with Pin/Replay on a concrete counterexample).
+	Trace io.Writer
+
+	// ConcreteIMem, ConcreteMem and ConcreteRegs replace the symbolic
+	// instruction memory, data-memory initialisation and register slice
+	// with concrete values — the fully concrete execution mode used by the
+	// fuzzing baseline (no symbolic state, single path, no solver traffic).
+	ConcreteIMem func(addr uint32) uint32
+	ConcreteMem  func(addr uint32) uint8
+	ConcreteRegs map[int]uint32
+}
+
+// WithDefaults fills unset fields with the paper's defaults.
+func (c Config) WithDefaults() Config {
+	if c.NumSymbolicRegs == 0 {
+		c.NumSymbolicRegs = 2
+	}
+	if c.InstrLimit == 0 {
+		c.InstrLimit = 1
+	}
+	if c.CycleLimit == 0 {
+		c.CycleLimit = 64 * c.InstrLimit
+	}
+	return c
+}
+
+// Run executes one co-simulation path under the engine: it is the RunFunc
+// body handed to the explorer. A Mismatch is returned as the path error when
+// the voter finds one.
+func Run(eng *core.Engine, cfg Config) error {
+	cfg = cfg.WithDefaults()
+	ctx := eng.Context()
+
+	filter := cfg.Filter
+	if cfg.Pin != nil {
+		filter = Filters(pinFilter(cfg.Pin), filter)
+	}
+	imem := NewSymbolicIMem(eng, filter)
+	imem.concrete = cfg.ConcreteIMem
+	initPool := NewSharedInit(eng)
+	initPool.concrete = cfg.ConcreteMem
+	if cfg.Pin != nil {
+		initPool.pin = cfg.Pin
+	}
+	dmemRTL := NewSymbolicDMem(ctx, initPool)
+	dmemISS := NewSymbolicDMem(ctx, initPool)
+
+	var dut DUT
+	if cfg.NewDUT != nil {
+		dut = cfg.NewDUT(eng)
+	} else {
+		dut = microrv32.New(eng, cfg.Core)
+	}
+	ref := iss.New(eng, imem, dmemISS, cfg.ISS)
+	dut.SetPC(cfg.StartPC)
+	ref.SetPC(cfg.StartPC)
+
+	// Sliced symbolic registers: identical symbolic initial values on both
+	// sides, installed on x1..xN.
+	for i := 1; i <= cfg.NumSymbolicRegs; i++ {
+		var v *smt.Term
+		if cfg.ConcreteRegs != nil {
+			v = ctx.BV(32, uint64(cfg.ConcreteRegs[i]))
+		} else {
+			name := fmt.Sprintf("reg_x%d", i)
+			v = eng.MakeSymbolic(name, 32)
+			if val, ok := cfg.Pin[name]; ok {
+				eng.Assume(ctx.Eq(v, ctx.BV(32, val)))
+			}
+		}
+		dut.SetReg(i, v)
+		ref.SetReg(i, v)
+	}
+
+	if cfg.SymbolicInterrupts {
+		line := &IrqLine{eng: eng, pin: cfg.Pin}
+		if aware, ok := dut.(IrqAware); ok {
+			aware.SetIrqSource(line)
+		}
+		ref.SetIrqSource(line)
+
+		mst := makePinned(eng, cfg.Pin, "csr_mstatus", 32)
+		mie := makePinned(eng, cfg.Pin, "csr_mie", 32)
+		if csrInit, ok := dut.(CSRInitializer); ok {
+			csrInit.SetCSR(riscv.CSRMStatus, mst)
+			csrInit.SetCSR(riscv.CSRMIe, mie)
+		}
+		ref.SetCSR(riscv.CSRMStatus, mst)
+		ref.SetCSR(riscv.CSRMIe, mie)
+	}
+
+	voter := NewVoter(eng)
+
+	var ib rtl.IBusResponse
+	var db rtl.DBusResponse
+	retired := 0
+	for cycles := 0; retired < cfg.InstrLimit; cycles++ {
+		if cycles >= cfg.CycleLimit {
+			eng.AbortLimitReached(fmt.Sprintf("cycle limit %d reached", cfg.CycleLimit))
+		}
+		ibReq, dbReq := dut.Step(ib, db)
+
+		// Service the buses; responses arrive at the next clock edge.
+		ib = rtl.IBusResponse{}
+		db = rtl.DBusResponse{}
+		if ibReq.FetchEnable {
+			if !ibReq.Address.IsConst() {
+				panic("cosim: IBus address must be concrete on each path")
+			}
+			addr := uint32(ibReq.Address.ConstVal())
+			ib = rtl.IBusResponse{InstructionReady: true, Instruction: imem.Fetch(addr)}
+			if cfg.Trace != nil {
+				fmt.Fprintf(cfg.Trace, "cycle %3d  ibus fetch  addr=0x%08x\n", cycles, addr)
+			}
+		}
+		if dbReq.Enable {
+			db = dmemRTL.ServeDBus(dbReq)
+			if cfg.Trace != nil {
+				dir := "load "
+				if dbReq.Write {
+					dir = "store"
+				}
+				fmt.Fprintf(cfg.Trace, "cycle %3d  dbus %s  addr=%s strobe=%04b\n",
+					cycles, dir, termStr(dbReq.Address), dbReq.WrStrobe)
+			}
+		}
+
+		if ret := dut.Retirement(); ret.Valid {
+			if cfg.Trace != nil {
+				fmt.Fprintf(cfg.Trace, "cycle %3d  retire #%d  pc=%s insn=%s next=%s trap=%v\n",
+					cycles, ret.Order, termStr(ret.PCRData), termStr(ret.Insn), termStr(ret.PCWData), ret.Trap)
+			}
+			res := ref.Step()
+			if m := voter.Compare(ret, res); m != nil {
+				if cfg.Trace != nil {
+					fmt.Fprintf(cfg.Trace, "cycle %3d  VOTER MISMATCH: %v\n", cycles, m)
+				}
+				return m
+			}
+			retired++
+		}
+	}
+	return nil
+}
+
+// termStr renders a term compactly for trace output: hex for constants, the
+// expression otherwise.
+func termStr(t *smt.Term) string {
+	if t == nil {
+		return "-"
+	}
+	if t.IsConst() {
+		return fmt.Sprintf("0x%08x", t.ConstVal())
+	}
+	return t.String()
+}
+
+// RunFunc binds a Config into the explorer's RunFunc shape.
+func RunFunc(cfg Config) core.RunFunc {
+	return func(eng *core.Engine) error { return Run(eng, cfg) }
+}
+
+// IrqAware is satisfied by DUTs that model the external interrupt line.
+type IrqAware interface {
+	SetIrqSource(src microrv32.IrqSource)
+}
+
+// CSRInitializer is satisfied by DUTs whose CSR storage the testbench can
+// pre-initialise (symbolic machine state).
+type CSRInitializer interface {
+	SetCSR(addr uint16, v *smt.Term)
+}
+
+// IrqLine is the symbolic external-interrupt input: one cached 1-bit
+// variable per instruction slot, shared by both models.
+type IrqLine struct {
+	eng  *core.Engine
+	pin  smt.MapEnv
+	vars map[uint64]*smt.Term
+}
+
+// Line returns the (cached) interrupt-line value for an instruction slot.
+func (l *IrqLine) Line(slot uint64) *smt.Term {
+	if l.vars == nil {
+		l.vars = make(map[uint64]*smt.Term)
+	}
+	if v, ok := l.vars[slot]; ok {
+		return v
+	}
+	v := makePinned(l.eng, l.pin, fmt.Sprintf("irq_%d", slot), 1)
+	l.vars[slot] = v
+	return v
+}
+
+// makePinned creates a named symbolic input, honouring replay pins.
+func makePinned(eng *core.Engine, pin smt.MapEnv, name string, width int) *smt.Term {
+	v := eng.MakeSymbolic(name, width)
+	if val, ok := pin[name]; ok {
+		ctx := eng.Context()
+		eng.Assume(ctx.Eq(v, ctx.BV(width, val)))
+	}
+	return v
+}
+
+// pinFilter constrains freshly generated instruction words to their pinned
+// values, matching by the symbolic variable name the instruction memory
+// assigns.
+func pinFilter(pin smt.MapEnv) InstrFilter {
+	return func(eng *core.Engine, word *smt.Term) {
+		if val, ok := pin[word.Name()]; ok {
+			ctx := eng.Context()
+			eng.Assume(ctx.Eq(word, ctx.BV(32, val)))
+		}
+	}
+}
+
+// Replay re-executes the co-simulation with every symbolic input pinned to
+// the given test vector (a Finding's Inputs or a TestVector's Inputs). It
+// returns the voter's mismatch, or nil if the vector reproduces no
+// difference. Inputs absent from the vector default to zero via Pin
+// semantics only when they were recorded; unrecorded inputs stay free, so a
+// complete vector yields exactly one path.
+func Replay(cfg Config, vector smt.MapEnv) (*Mismatch, error) {
+	cfg.Pin = vector
+	x := core.NewExplorer(RunFunc(cfg))
+	rep := x.Explore(core.Options{StopOnFirstFinding: true, MaxPaths: 16})
+	if len(rep.Findings) == 0 {
+		return nil, nil
+	}
+	if m, ok := rep.Findings[0].Err.(*Mismatch); ok {
+		return m, nil
+	}
+	return nil, rep.Findings[0].Err
+}

@@ -1,0 +1,216 @@
+package cosim
+
+import (
+	"fmt"
+
+	"symriscv/internal/core"
+	"symriscv/internal/iss"
+	"symriscv/internal/riscv"
+	"symriscv/internal/rtl"
+	"symriscv/internal/rvfi"
+	"symriscv/internal/smt"
+)
+
+// MismatchKind classifies what the voter saw disagree.
+type MismatchKind uint8
+
+// Mismatch kinds.
+const (
+	TrapMismatch  MismatchKind = iota // one side trapped, the other did not
+	CauseMismatch                     // both trapped with different causes
+	PCMismatch                        // next PC differs
+	RdMismatch                        // destination register index or value differs
+	MemMismatch                       // store effect (presence, address, size or data) differs
+)
+
+func (k MismatchKind) String() string {
+	switch k {
+	case TrapMismatch:
+		return "trap-mismatch"
+	case CauseMismatch:
+		return "cause-mismatch"
+	case PCMismatch:
+		return "pc-mismatch"
+	case RdMismatch:
+		return "rd-mismatch"
+	case MemMismatch:
+		return "mem-mismatch"
+	}
+	return "mismatch"
+}
+
+// Mismatch is the voter's finding: a satisfiable functional difference
+// between the RTL core and the reference ISS, with a concrete witness.
+// It implements core.Witnesser so the explorer attaches the counterexample.
+type Mismatch struct {
+	Kind   MismatchKind
+	Detail string
+
+	// Witness assigns every symbolic input; the fields below are the
+	// concrete replay of the step under that witness.
+	Insn    uint32 // instruction word
+	Disasm  string
+	PC      uint32
+	RTLNext uint32
+	ISSNext uint32
+	RTLTrap bool
+	ISSTrap bool
+	RdAddr  int
+	RTLRd   uint32
+	ISSRd   uint32
+
+	Env smt.MapEnv
+}
+
+// Error implements error.
+func (m *Mismatch) Error() string {
+	return fmt.Sprintf("%s at pc=%#x insn=%#08x (%s): %s", m.Kind, m.PC, m.Insn, m.Disasm, m.Detail)
+}
+
+// Witness implements core.Witnesser.
+func (m *Mismatch) Witness() smt.MapEnv { return m.Env }
+
+// Voter compares each RTL retirement against the ISS step result, raising a
+// Mismatch when any architectural difference is satisfiable under the path
+// constraints (§IV-D).
+type Voter struct {
+	eng *core.Engine
+	ctx *smt.Context
+}
+
+// NewVoter returns a voter bound to the engine.
+func NewVoter(eng *core.Engine) *Voter {
+	return &Voter{eng: eng, ctx: eng.Context()}
+}
+
+// Compare checks one retirement pair. A nil return means no observable
+// difference is satisfiable on this path.
+func (v *Voter) Compare(ret *rvfi.Retirement, res iss.Result) *Mismatch {
+	ctx := v.ctx
+
+	// Trap behaviour is concrete on each path.
+	if ret.Trap != res.Trap {
+		return v.finish(ret, res, TrapMismatch,
+			fmt.Sprintf("RTL trap=%v (cause %s), ISS trap=%v (cause %s)",
+				ret.Trap, causeStr(ret), res.Trap, causeStrISS(res)), nil)
+	}
+	if ret.Trap && res.Trap {
+		if ret.Cause != res.Cause {
+			return v.finish(ret, res, CauseMismatch,
+				fmt.Sprintf("RTL cause=%s, ISS cause=%s",
+					riscv.ExcName(ret.Cause), riscv.ExcName(res.Cause)), nil)
+		}
+		// Both trapped identically: compare the trap target PC below.
+	}
+
+	// Old and next PC: hash-consing makes identical expressions
+	// pointer-equal, so the solver is only consulted for syntactically
+	// distinct values. The old-PC comparison catches control-flow divergence
+	// that happened *between* retirements (e.g. one side taking an
+	// interrupt).
+	if ret.PCRData != res.PC {
+		if env, ok := v.eng.FindWitness(ctx.Ne(ret.PCRData, res.PC)); ok {
+			return v.finish(ret, res, PCMismatch, "executed-instruction PCs can differ", env)
+		}
+	}
+	if ret.PCWData != res.NextPC {
+		if env, ok := v.eng.FindWitness(ctx.Ne(ret.PCWData, res.NextPC)); ok {
+			return v.finish(ret, res, PCMismatch, "next-PC values can differ", env)
+		}
+	}
+
+	if ret.RdAddr != res.RdAddr {
+		return v.finish(ret, res, RdMismatch,
+			fmt.Sprintf("RTL writes x%d, ISS writes x%d", ret.RdAddr, res.RdAddr), nil)
+	}
+	if ret.RdAddr != 0 && ret.RdWData != res.RdValue {
+		if env, ok := v.eng.FindWitness(ctx.Ne(ret.RdWData, res.RdValue)); ok {
+			return v.finish(ret, res, RdMismatch,
+				fmt.Sprintf("x%d values can differ", ret.RdAddr), env)
+		}
+	}
+
+	// Memory-write effects (architectural store address, size and data).
+	if !ret.Trap {
+		rtlWrote := ret.MemWMask != 0
+		if rtlWrote != res.MemWrite {
+			return v.finish(ret, res, MemMismatch,
+				fmt.Sprintf("RTL store=%v, ISS store=%v", rtlWrote, res.MemWrite), nil)
+		}
+		if rtlWrote {
+			if got, want := rtl.Strobe(ret.MemWMask).Bytes(), res.MemWBytes; got != want {
+				return v.finish(ret, res, MemMismatch,
+					fmt.Sprintf("store width %d bytes vs %d bytes", got, want), nil)
+			}
+			if ret.MemAddr != res.MemAddr {
+				if env, ok := v.eng.FindWitness(ctx.Ne(ret.MemAddr, res.MemAddr)); ok {
+					return v.finish(ret, res, MemMismatch, "store addresses can differ", env)
+				}
+			}
+			if ret.MemWData != nil && res.MemWData != nil && ret.MemWData != res.MemWData {
+				if env, ok := v.eng.FindWitness(ctx.Ne(ret.MemWData, res.MemWData)); ok {
+					return v.finish(ret, res, MemMismatch, "store data can differ", env)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func causeStr(ret *rvfi.Retirement) string {
+	if !ret.Trap {
+		return "-"
+	}
+	return riscv.ExcName(ret.Cause)
+}
+
+func causeStrISS(res iss.Result) string {
+	if !res.Trap {
+		return "-"
+	}
+	return riscv.ExcName(res.Cause)
+}
+
+// finish materialises a witness (if not already provided by the deciding
+// query) and evaluates both sides' behaviour under it for the report.
+func (v *Voter) finish(ret *rvfi.Retirement, res iss.Result, kind MismatchKind, detail string, env smt.MapEnv) *Mismatch {
+	if env == nil {
+		var ok bool
+		env, ok = v.eng.FindWitness(v.ctx.True())
+		if !ok {
+			// Unreachable: the path constraints are satisfiable by invariant.
+			env = smt.MapEnv{}
+		}
+	}
+	m := &Mismatch{
+		Kind:    kind,
+		Detail:  detail,
+		RTLTrap: ret.Trap,
+		ISSTrap: res.Trap,
+		RdAddr:  ret.RdAddr,
+		Env:     env,
+	}
+	m.Insn = uint32(evalOr0(ret.Insn, env))
+	m.Disasm = riscv.Disasm(m.Insn)
+	m.PC = uint32(evalOr0(ret.PCRData, env))
+	m.RTLNext = uint32(evalOr0(ret.PCWData, env))
+	m.ISSNext = uint32(evalOr0(res.NextPC, env))
+	if ret.RdAddr != 0 {
+		m.RTLRd = uint32(evalOr0(ret.RdWData, env))
+	}
+	if res.RdAddr != 0 {
+		m.ISSRd = uint32(evalOr0(res.RdValue, env))
+	}
+	return m
+}
+
+func evalOr0(t *smt.Term, env smt.MapEnv) uint64 {
+	if t == nil {
+		return 0
+	}
+	v, err := smt.Eval(t, env)
+	if err != nil {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,116 @@
+// Package faults defines the ten injectable RTL errors E0–E9 of the paper's
+// performance evaluation (§V-B). Each fault targets one microarchitectural
+// point of the MicroRV32 core model; internal/microrv32 consults the active
+// Set at those points.
+package faults
+
+import "fmt"
+
+// Fault identifies one injectable error.
+type Fault uint8
+
+// The injected errors, in the paper's numbering.
+const (
+	// E0 marks instruction bit 25 (the RV64 shamt bit, reserved in RV32) as
+	// don't-care in the SLLI decode-table entry, so the reserved encoding
+	// decodes as SLLI instead of raising an illegal-instruction trap.
+	E0 Fault = iota
+	// E1 injects the same don't-care bit into the SRLI decode entry.
+	E1
+	// E2 injects the same don't-care bit into the SRAI decode entry (the
+	// paper lists SRLI twice; SRAI is the remaining shift-immediate — see
+	// DESIGN.md).
+	E2
+	// E3 is a stuck-at-0 fault on the lowest result bit of ADDI.
+	E3
+	// E4 is a stuck-at-0 fault on the highest result bit of SUB.
+	E4
+	// E5 prevents JAL from changing the PC.
+	E5
+	// E6 changes BNE to behave like BEQ.
+	E6
+	// E7 flips the byte-lane endianness of the LBU memory access.
+	E7
+	// E8 removes the 8-to-32-bit sign extension from LB.
+	E8
+	// E9 makes LW load only the lower 16 bits from memory.
+	E9
+	NumFaults // sentinel
+)
+
+var faultNames = [NumFaults]string{"E0", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+
+var faultDescs = [NumFaults]string{
+	E0: "SLLI decode don't-care at bit 25 (reserved RV64 encoding accepted)",
+	E1: "SRLI decode don't-care at bit 25 (reserved RV64 encoding accepted)",
+	E2: "SRAI decode don't-care at bit 25 (reserved RV64 encoding accepted)",
+	E3: "ADDI result bit 0 stuck-at-0",
+	E4: "SUB result bit 31 stuck-at-0",
+	E5: "JAL does not change the PC",
+	E6: "BNE behaves like BEQ",
+	E7: "LBU byte-lane endianness flipped",
+	E8: "LB missing sign extension",
+	E9: "LW loads only the lower 16 bits",
+}
+
+func (f Fault) String() string {
+	if f < NumFaults {
+		return faultNames[f]
+	}
+	return fmt.Sprintf("E?(%d)", uint8(f))
+}
+
+// Description returns the human-readable fault description.
+func (f Fault) Description() string {
+	if f < NumFaults {
+		return faultDescs[f]
+	}
+	return "unknown fault"
+}
+
+// All returns every defined fault in order.
+func All() []Fault {
+	out := make([]Fault, NumFaults)
+	for i := range out {
+		out[i] = Fault(i)
+	}
+	return out
+}
+
+// Set is a bit set of active faults.
+type Set uint16
+
+// None is the empty fault set.
+const None Set = 0
+
+// Only returns a set containing exactly f.
+func Only(f Fault) Set { return 1 << f }
+
+// Of returns a set containing the given faults.
+func Of(fs ...Fault) Set {
+	var s Set
+	for _, f := range fs {
+		s |= Only(f)
+	}
+	return s
+}
+
+// Has reports whether f is active in the set.
+func (s Set) Has(f Fault) bool { return s&Only(f) != 0 }
+
+// String lists the active faults.
+func (s Set) String() string {
+	if s == 0 {
+		return "none"
+	}
+	out := ""
+	for _, f := range All() {
+		if s.Has(f) {
+			if out != "" {
+				out += "+"
+			}
+			out += f.String()
+		}
+	}
+	return out
+}

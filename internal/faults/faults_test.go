@@ -1,0 +1,52 @@
+package faults
+
+import "testing"
+
+func TestSetOperations(t *testing.T) {
+	s := Of(E0, E5, E9)
+	for _, f := range []Fault{E0, E5, E9} {
+		if !s.Has(f) {
+			t.Errorf("set should contain %s", f)
+		}
+	}
+	for _, f := range []Fault{E1, E2, E3, E4, E6, E7, E8} {
+		if s.Has(f) {
+			t.Errorf("set should not contain %s", f)
+		}
+	}
+	if None.Has(E0) {
+		t.Error("empty set contains E0")
+	}
+	if Only(E3) != Of(E3) {
+		t.Error("Only and Of disagree")
+	}
+}
+
+func TestAllAndNames(t *testing.T) {
+	all := All()
+	if len(all) != int(NumFaults) || len(all) != 10 {
+		t.Fatalf("All() = %d faults, want 10", len(all))
+	}
+	seen := map[string]bool{}
+	for _, f := range all {
+		if f.String() == "" || seen[f.String()] {
+			t.Errorf("bad or duplicate name %q", f)
+		}
+		seen[f.String()] = true
+		if f.Description() == "" || f.Description() == "unknown fault" {
+			t.Errorf("%s missing description", f)
+		}
+	}
+	if Fault(200).Description() != "unknown fault" {
+		t.Error("out-of-range fault should report unknown")
+	}
+}
+
+func TestSetString(t *testing.T) {
+	if None.String() != "none" {
+		t.Errorf("None.String() = %q", None.String())
+	}
+	if got := Of(E1, E7).String(); got != "E1+E7" {
+		t.Errorf("Set.String() = %q, want E1+E7", got)
+	}
+}

@@ -1,0 +1,133 @@
+package fuzz
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"symriscv/internal/cosim"
+	"symriscv/internal/faults"
+	"symriscv/internal/iss"
+	"symriscv/internal/microrv32"
+	"symriscv/internal/riscv"
+)
+
+func baseCfg(f faults.Fault) cosim.Config {
+	coreCfg := microrv32.FixedConfig()
+	coreCfg.Faults = faults.Only(f)
+	return cosim.Config{
+		ISS:        iss.FixedConfig(),
+		Core:       coreCfg,
+		InstrLimit: 1,
+	}
+}
+
+func TestValidGeneratorEmitsOnlyDecodableWords(t *testing.T) {
+	c := &Campaign{Strategy: StrategyValid}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		w := c.word(rng)
+		in := riscv.Decode(w)
+		if in.Mn == riscv.InsInvalid {
+			t.Fatalf("valid generator emitted invalid word %#08x", w)
+		}
+		if w&0x7f == riscv.OpSystem {
+			t.Fatalf("valid generator emitted SYSTEM instruction %#08x", w)
+		}
+	}
+}
+
+func TestUniformGeneratorBlocksSystem(t *testing.T) {
+	c := &Campaign{Strategy: StrategyUniform}
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		if c.word(rng)&0x7f == riscv.OpSystem {
+			t.Fatal("uniform generator emitted SYSTEM instruction")
+		}
+	}
+}
+
+// TestFuzzFindsEasyFault: E6 (BNE behaves like BEQ) triggers whenever a BNE
+// compares a register with itself — well within reach of constrained-random
+// generation.
+func TestFuzzFindsEasyFault(t *testing.T) {
+	c := &Campaign{Seed: 1, Strategy: StrategyValid, Base: baseCfg(faults.E6)}
+	res := c.Run(200000, 30*time.Second)
+	if !res.Found {
+		t.Fatalf("constrained fuzzing failed to find E6 in %d trials", res.Trials)
+	}
+	if res.Mismatch == nil {
+		t.Fatal("missing mismatch detail")
+	}
+	if riscv.Decode(res.Mismatch.Insn).Mn != riscv.InsBNE {
+		t.Fatalf("witness %s is not BNE", res.Mismatch.Disasm)
+	}
+	t.Logf("E6 found after %d trials (%s)", res.Trials, res.Elapsed.Round(time.Millisecond))
+}
+
+// TestConstrainedFuzzingMissesDecodeFault is the corner-case argument: the
+// valid-instruction generator can never produce the reserved encoding that
+// E0 mis-decodes, so the fault stays hidden no matter the budget.
+func TestConstrainedFuzzingMissesDecodeFault(t *testing.T) {
+	c := &Campaign{Seed: 2, Strategy: StrategyValid, Base: baseCfg(faults.E0)}
+	res := c.Run(3000, 10*time.Second)
+	if res.Found {
+		t.Fatalf("valid-only fuzzing cannot trigger E0, but reported %v", res.Mismatch)
+	}
+	if res.Trials < 100 {
+		t.Fatalf("campaign barely ran: %d trials", res.Trials)
+	}
+}
+
+// TestFuzzCampaignDeterministic: same seed, same outcome.
+func TestFuzzCampaignDeterministic(t *testing.T) {
+	a := (&Campaign{Seed: 7, Strategy: StrategyValid, Base: baseCfg(faults.E3)}).Run(2000, 20*time.Second)
+	b := (&Campaign{Seed: 7, Strategy: StrategyValid, Base: baseCfg(faults.E3)}).Run(2000, 20*time.Second)
+	if a.Found != b.Found || a.Trials != b.Trials {
+		t.Fatalf("campaign not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestConcreteTrialIsSinglePath: a fuzz trial must not fork.
+func TestConcreteTrialIsSinglePath(t *testing.T) {
+	c := &Campaign{Seed: 9, Strategy: StrategyValid, Base: baseCfg(faults.E6)}
+	res := c.Run(50, 10*time.Second)
+	// 1 instruction per trial, 2 models: exactly 2 executed instructions per
+	// trial (unless the finding trial ended early).
+	maxInstr := uint64(res.Trials * 2)
+	if res.Instr > maxInstr {
+		t.Fatalf("trials forked: %d instructions for %d trials", res.Instr, res.Trials)
+	}
+}
+
+// TestMutationFuzzingReachesReservedEncodings: unlike valid-only generation,
+// the coverage-guided mutation fuzzer can flip bit 25 of a valid shift and
+// trigger the decode fault E0 — the behaviour of the paper's own prior
+// fuzzing work.
+func TestMutationFuzzingReachesReservedEncodings(t *testing.T) {
+	c := &MutationCampaign{Seed: 5, Base: baseCfg(faults.E0)}
+	res := c.Run(400000, 60*time.Second)
+	if !res.Found {
+		t.Skipf("mutation fuzzing did not hit E0 within budget (%d trials) — probabilistic, not a failure", res.Trials)
+	}
+	if res.Mismatch == nil || res.Mismatch.Insn>>25&1 != 1 {
+		t.Fatalf("witness %v does not carry the reserved bit", res.Mismatch)
+	}
+	t.Logf("E0 found by mutation after %d trials (%s)", res.Trials, res.Elapsed.Round(time.Millisecond))
+}
+
+func TestMutationFuzzingFindsEasyFault(t *testing.T) {
+	c := &MutationCampaign{Seed: 3, Base: baseCfg(faults.E6)}
+	res := c.Run(100000, 30*time.Second)
+	if !res.Found {
+		t.Fatalf("mutation fuzzing failed to find E6 in %d trials", res.Trials)
+	}
+}
+
+func TestMutationDeterministic(t *testing.T) {
+	a := (&MutationCampaign{Seed: 9, Base: baseCfg(faults.E3)}).Run(3000, 20*time.Second)
+	b := (&MutationCampaign{Seed: 9, Base: baseCfg(faults.E3)}).Run(3000, 20*time.Second)
+	if a.Found != b.Found || a.Trials != b.Trials {
+		t.Fatalf("not deterministic: %+v vs %+v", a, b)
+	}
+}

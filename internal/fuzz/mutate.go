@@ -1,0 +1,115 @@
+package fuzz
+
+import (
+	"math/rand"
+	"time"
+
+	"symriscv/internal/core"
+	"symriscv/internal/cosim"
+	"symriscv/internal/riscv"
+)
+
+// MutationCampaign is the coverage-guided fuzzing baseline in the spirit of
+// the authors' own prior work (GLSVLSI'22, cited as [10]): it keeps a corpus
+// of inputs that reached new instruction-decode coverage and mutates corpus
+// entries by bit flips and havoc, so — unlike the constrained-valid
+// generator — it *can* stumble into reserved encodings by flipping bits of
+// valid instructions. It remains incomplete: time-to-corner-case is
+// probabilistic, which is the paper's argument for symbolic execution.
+type MutationCampaign struct {
+	Seed int64
+	// Base is the co-simulation scenario; symbolic-input fields are
+	// overridden per trial.
+	Base cosim.Config
+}
+
+// corpusEntry is one saved input: the first instruction word plus the two
+// register seeds.
+type corpusEntry struct {
+	word   uint32
+	r1, r2 uint32
+}
+
+// coverageKey classifies what a trial exercised: the decoded mnemonic class
+// of the first instruction (the illegal class collapses onto one key).
+func coverageKey(word uint32) uint32 {
+	return uint32(riscv.Decode(word).Mn)
+}
+
+// Run fuzzes with coverage feedback until a mismatch is found or a budget
+// expires.
+func (c *MutationCampaign) Run(maxTrials int, budget time.Duration) Result {
+	rng := rand.New(rand.NewSource(c.Seed))
+	start := time.Now()
+	res := Result{}
+
+	seed := &Campaign{Seed: c.Seed, Strategy: StrategyValid}
+	corpus := []corpusEntry{{word: seed.word(rng), r1: rng.Uint32(), r2: rng.Uint32()}}
+	covered := map[uint32]bool{}
+
+	for res.Trials < maxTrials && time.Since(start) < budget {
+		res.Trials++
+
+		// Pick a parent and mutate, or occasionally inject a fresh valid
+		// instruction to keep exploring the decode space.
+		var e corpusEntry
+		switch rng.Intn(4) {
+		case 0:
+			e = corpusEntry{word: seed.word(rng), r1: rng.Uint32(), r2: rng.Uint32()}
+		default:
+			e = corpus[rng.Intn(len(corpus))]
+			e = mutate(rng, e)
+		}
+
+		cfg := c.Base
+		word := e.word
+		cfg.ConcreteIMem = func(addr uint32) uint32 {
+			if addr == cfg.StartPC {
+				return word
+			}
+			return riscv.ADDI(0, 0, 0)
+		}
+		r1, r2 := e.r1, e.r2
+		cfg.ConcreteMem = func(addr uint32) uint8 { return uint8(addr ^ r1) }
+		cfg.ConcreteRegs = map[int]uint32{1: r1, 2: r2}
+
+		x := core.NewExplorer(cosim.RunFunc(cfg))
+		rep := x.Explore(core.Options{StopOnFirstFinding: true, MaxPaths: 4})
+		res.Instr += rep.Stats.Instructions
+		if len(rep.Findings) > 0 {
+			res.Found = true
+			if m, ok := rep.Findings[0].Err.(*cosim.Mismatch); ok {
+				res.Mismatch = m
+			}
+			break
+		}
+
+		// Coverage feedback: a trial that exercised a new mnemonic class
+		// joins the corpus.
+		key := coverageKey(e.word)
+		if !covered[key] {
+			covered[key] = true
+			corpus = append(corpus, e)
+		}
+	}
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+// mutate applies one of the classic mutation operators.
+func mutate(rng *rand.Rand, e corpusEntry) corpusEntry {
+	switch rng.Intn(5) {
+	case 0: // single bit flip in the instruction — can create reserved encodings
+		e.word ^= 1 << uint(rng.Intn(32))
+	case 1: // byte havoc in the instruction
+		e.word ^= uint32(rng.Intn(256)) << uint(8*rng.Intn(4))
+	case 2: // register value bit flip
+		e.r1 ^= 1 << uint(rng.Intn(32))
+	case 3: // register havoc
+		e.r2 = rng.Uint32()
+	default: // interesting-value substitution
+		vals := []uint32{0, 1, 0x7fffffff, 0x80000000, 0xffffffff}
+		e.r1 = vals[rng.Intn(len(vals))]
+	}
+	return e
+}

@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"symriscv/internal/core"
+	"symriscv/internal/riscv"
+	"symriscv/internal/smt"
+)
+
+// CoverageReport summarises which instructions a generated test set
+// exercises — the paper's "high coverage test set" claim made measurable.
+type CoverageReport struct {
+	ByMnemonic map[string]int // mnemonic -> number of vectors containing it
+	Vectors    int
+	Distinct   int
+}
+
+// Coverage decodes every instruction word of every test vector (the
+// imem_* inputs) and tallies mnemonic coverage. Findings can be included by
+// converting them with FindingInputs.
+func Coverage(vectors []smt.MapEnv) *CoverageReport {
+	rep := &CoverageReport{ByMnemonic: make(map[string]int)}
+	for _, v := range vectors {
+		rep.Vectors++
+		seen := map[string]bool{}
+		for name, val := range v {
+			if !strings.HasPrefix(name, "imem_") {
+				continue
+			}
+			mn := riscv.Decode(uint32(val)).Mn.String()
+			if !seen[mn] {
+				seen[mn] = true
+				rep.ByMnemonic[mn]++
+			}
+		}
+	}
+	rep.Distinct = len(rep.ByMnemonic)
+	return rep
+}
+
+// TestSetInputs extracts the input environments from an exploration report
+// (test vectors plus findings), ready for Coverage.
+func TestSetInputs(rep *core.Report) []smt.MapEnv {
+	out := make([]smt.MapEnv, 0, len(rep.TestVectors)+len(rep.Findings))
+	for _, tv := range rep.TestVectors {
+		out = append(out, tv.Inputs)
+	}
+	for _, f := range rep.Findings {
+		if f.Inputs != nil {
+			out = append(out, f.Inputs)
+		}
+	}
+	return out
+}
+
+// Format renders the coverage table, most-covered first.
+func (r *CoverageReport) Format() string {
+	type entry struct {
+		mn string
+		n  int
+	}
+	entries := make([]entry, 0, len(r.ByMnemonic))
+	for mn, n := range r.ByMnemonic {
+		entries = append(entries, entry{mn, n})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].n != entries[j].n {
+			return entries[i].n > entries[j].n
+		}
+		return entries[i].mn < entries[j].mn
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "Test-set instruction coverage: %d vectors, %d distinct mnemonics\n", r.Vectors, r.Distinct)
+	for _, e := range entries {
+		fmt.Fprintf(&b, "  %-10s %6d\n", e.mn, e.n)
+	}
+	return b.String()
+}

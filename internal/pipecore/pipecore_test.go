@@ -1,0 +1,280 @@
+package pipecore_test
+
+import (
+	"testing"
+	"time"
+
+	"symriscv/internal/core"
+	"symriscv/internal/cosim"
+	"symriscv/internal/faults"
+	"symriscv/internal/iss"
+	"symriscv/internal/pipecore"
+	"symriscv/internal/riscv"
+	"symriscv/internal/rtl"
+	"symriscv/internal/rvfi"
+	"symriscv/internal/smt"
+)
+
+type fixture struct {
+	rets   []rvfi.Retirement
+	cycles uint64
+	mem    map[uint32]uint8
+}
+
+// run clocks the pipelined core over a concrete program with a concrete byte
+// memory until n retirements.
+func run(t *testing.T, cfg pipecore.Config, words []uint32, regs map[int]uint32, n int, preMem map[uint32]uint8) fixture {
+	t.Helper()
+	var fx fixture
+	x := core.NewExplorer(func(e *core.Engine) error {
+		ctx := e.Context()
+		c := pipecore.New(e, cfg)
+		for i, v := range regs {
+			c.SetReg(i, ctx.BV(32, uint64(v)))
+		}
+		mem := map[uint32]uint8{}
+		for a, v := range preMem {
+			mem[a] = v
+		}
+		fx = fixture{mem: mem}
+
+		var ib rtl.IBusResponse
+		var db rtl.DBusResponse
+		for cycles := 0; len(fx.rets) < n; cycles++ {
+			if cycles > 64*n+64 {
+				t.Errorf("core hung after %d cycles", cycles)
+				return nil
+			}
+			ibReq, dbReq := c.Step(ib, db)
+			ib, db = rtl.IBusResponse{}, rtl.DBusResponse{}
+			if ibReq.FetchEnable {
+				addr := uint32(ibReq.Address.ConstVal())
+				w := uint32(riscv.ADDI(0, 0, 0))
+				if int(addr/4) < len(words) && addr%4 == 0 {
+					w = words[addr/4]
+				}
+				ib = rtl.IBusResponse{InstructionReady: true, Instruction: ctx.BV(32, uint64(w))}
+			}
+			if dbReq.Enable {
+				base := uint32(dbReq.Address.ConstVal()) &^ 3
+				if dbReq.Write {
+					for lane := uint32(0); lane < 4; lane++ {
+						if dbReq.WrStrobe>>lane&1 == 1 {
+							mem[base+lane] = uint8(dbReq.WriteData.ConstVal() >> (8 * lane))
+						}
+					}
+					db = rtl.DBusResponse{DataReady: true, ReadData: ctx.BV(32, 0)}
+				} else {
+					var v uint64
+					for lane := uint32(0); lane < 4; lane++ {
+						v |= uint64(mem[base+lane]) << (8 * lane)
+					}
+					db = rtl.DBusResponse{DataReady: true, ReadData: ctx.BV(32, v)}
+				}
+			}
+			if ret := c.Retirement(); ret.Valid {
+				fx.rets = append(fx.rets, *ret)
+			}
+		}
+		fx.cycles = c.Cycles()
+		return nil
+	})
+	rep := x.Explore(core.Options{})
+	if rep.Stats.Completed != 1 || rep.Stats.Paths != 1 {
+		t.Fatalf("concrete program should run on one path: %v", rep.Stats)
+	}
+	return fx
+}
+
+func cval(t *testing.T, term *smt.Term) uint32 {
+	t.Helper()
+	if term == nil || !term.IsConst() {
+		t.Fatalf("term not concrete: %v", term)
+	}
+	return uint32(term.ConstVal())
+}
+
+func TestPipelineOverlap(t *testing.T) {
+	// Straight-line ALU code must approach 1 instruction per cycle after the
+	// pipeline fills — measurably faster than the multi-cycle core's 3.
+	prog := make([]uint32, 10)
+	for i := range prog {
+		prog[i] = riscv.ADDI(3, 3, 1)
+	}
+	fx := run(t, pipecore.Config{}, prog, nil, 10, nil)
+	if fx.cycles > 24 {
+		t.Errorf("10 ALU instructions took %d cycles; pipeline not overlapping", fx.cycles)
+	}
+	last := fx.rets[9]
+	if got := cval(t, last.RdWData); got != 10 {
+		t.Errorf("accumulated x3 = %d, want 10", got)
+	}
+	if cval(t, last.PCRData) != 36 {
+		t.Errorf("10th instruction pc = %d", cval(t, last.PCRData))
+	}
+}
+
+func TestProgramOrderRetirement(t *testing.T) {
+	prog := []uint32{
+		riscv.ADDI(1, 0, 5),
+		riscv.ADDI(2, 1, 3), // depends on x1: write-through regfile
+		riscv.ADD(3, 1, 2),
+	}
+	fx := run(t, pipecore.Config{}, prog, nil, 3, nil)
+	for i, r := range fx.rets {
+		if r.Order != uint64(i+1) {
+			t.Fatalf("retirement %d has order %d", i, r.Order)
+		}
+	}
+	if got := cval(t, fx.rets[1].RdWData); got != 8 {
+		t.Errorf("dependent ADDI read stale x1: got %d, want 8", got)
+	}
+	if got := cval(t, fx.rets[2].RdWData); got != 13 {
+		t.Errorf("ADD got %d, want 13", got)
+	}
+}
+
+func TestBranchFlush(t *testing.T) {
+	prog := []uint32{
+		riscv.BEQ(0, 0, 12),   // taken: skip next two
+		riscv.ADDI(1, 0, 111), // must be flushed
+		riscv.ADDI(1, 0, 222), // never fetched
+		riscv.ADDI(2, 0, 7),   // branch target
+	}
+	fx := run(t, pipecore.Config{}, prog, nil, 2, nil)
+	if got := cval(t, fx.rets[0].PCWData); got != 12 {
+		t.Fatalf("branch target %d, want 12", got)
+	}
+	second := fx.rets[1]
+	if cval(t, second.PCRData) != 12 || second.RdAddr != 2 {
+		t.Fatalf("instruction after taken branch: pc=%d rd=%d", cval(t, second.PCRData), second.RdAddr)
+	}
+	if got := cval(t, second.RdWData); got != 7 {
+		t.Fatalf("x2 = %d, want 7 (flushed instruction leaked)", got)
+	}
+}
+
+func TestJalAndJalr(t *testing.T) {
+	prog := []uint32{
+		riscv.JAL(1, 8),      // to pc=8, link 4
+		riscv.ADDI(2, 0, 99), // skipped
+		riscv.JALR(3, 1, 8),  // x1=4 -> target 12
+		riscv.ADDI(4, 0, 1),  // at 12
+	}
+	fx := run(t, pipecore.Config{}, prog, nil, 3, nil)
+	if got := cval(t, fx.rets[0].RdWData); got != 4 {
+		t.Fatalf("jal link %d", got)
+	}
+	if cval(t, fx.rets[1].PCRData) != 8 {
+		t.Fatalf("jal went to %d", cval(t, fx.rets[1].PCRData))
+	}
+	if cval(t, fx.rets[1].RdWData) != 12 {
+		t.Fatalf("jalr link %d", cval(t, fx.rets[1].RdWData))
+	}
+	if cval(t, fx.rets[2].PCRData) != 12 {
+		t.Fatalf("jalr went to %d", cval(t, fx.rets[2].PCRData))
+	}
+}
+
+func TestLoadStoreAndTraps(t *testing.T) {
+	mem := map[uint32]uint8{100: 0x80, 101: 0x91}
+	regs := map[int]uint32{1: 100, 2: 0xdeadbeef}
+
+	fx := run(t, pipecore.Config{}, []uint32{riscv.LB(3, 1, 0)}, regs, 1, mem)
+	if got := cval(t, fx.rets[0].RdWData); got != 0xffffff80 {
+		t.Errorf("lb = %#x", got)
+	}
+	fx = run(t, pipecore.Config{}, []uint32{riscv.SH(1, 2, 0)}, regs, 1, nil)
+	if fx.mem[100] != 0xef || fx.mem[101] != 0xbe {
+		t.Errorf("sh stored %#x %#x", fx.mem[100], fx.mem[101])
+	}
+	// Misaligned traps to vector 0.
+	fx = run(t, pipecore.Config{}, []uint32{riscv.LW(3, 1, 1)}, regs, 1, nil)
+	r := fx.rets[0]
+	if !r.Trap || r.Cause != riscv.ExcLoadAddrMisaligned || cval(t, r.PCWData) != 0 {
+		t.Errorf("misaligned LW: trap=%v cause=%d next=%d", r.Trap, r.Cause, cval(t, r.PCWData))
+	}
+	// CSR instructions are not implemented: illegal.
+	fx = run(t, pipecore.Config{}, []uint32{riscv.CSRRW(1, riscv.CSRMScratch, 2)}, regs, 1, nil)
+	if !fx.rets[0].Trap || fx.rets[0].Cause != riscv.ExcIllegalInstruction {
+		t.Error("csrrw must trap illegal on the CSR-less pipeline core")
+	}
+}
+
+// pipeCfg is the matched pipeline-vs-ISS co-simulation scenario.
+func pipeCfg(f faults.Set) cosim.Config {
+	return cosim.Config{
+		ISS:    iss.FixedConfig(),
+		Filter: cosim.BlockSystemInstructions,
+		NewDUT: func(eng *core.Engine) cosim.DUT {
+			return pipecore.New(eng, pipecore.Config{Faults: f})
+		},
+	}
+}
+
+// TestPipelineMatchedAgainstISS is the generality check: the clean pipelined
+// core must agree with the reference ISS over the full symbolic RV32I space
+// at instruction limit 1.
+func TestPipelineMatchedAgainstISS(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-space exploration")
+	}
+	x := core.NewExplorer(cosim.RunFunc(pipeCfg(faults.None)))
+	rep := x.Explore(core.Options{MaxTime: 120 * time.Second})
+	if len(rep.Findings) != 0 {
+		t.Fatalf("pipeline core diverges from ISS: %v", rep.Findings[0].Err)
+	}
+	if !rep.Exhausted {
+		t.Fatalf("exploration not exhausted: %v", rep.Stats)
+	}
+	t.Logf("pipeline matched exploration: %v", rep.Stats)
+}
+
+// TestPipelineMatchedLimit2 extends the agreement to two-instruction traces
+// (pipelining effects only show with >1 instruction in flight).
+func TestPipelineMatchedLimit2(t *testing.T) {
+	cfg := pipeCfg(faults.None)
+	cfg.InstrLimit = 2
+	cfg.Filter = cosim.Filters(cosim.BlockSystemInstructions, cosim.OnlyOpcode(riscv.OpBranch))
+	x := core.NewExplorer(cosim.RunFunc(cfg))
+	rep := x.Explore(core.Options{MaxTime: 60 * time.Second, MaxPaths: 500})
+	if len(rep.Findings) != 0 {
+		t.Fatalf("pipeline diverges at limit 2: %v", rep.Findings[0].Err)
+	}
+	if rep.Stats.Completed == 0 {
+		t.Fatal("no completed paths")
+	}
+}
+
+// TestPipelineFaultsFound reruns a Table II subset against the pipelined
+// core: the same injected errors must be found by the same methodology.
+func TestPipelineFaultsFound(t *testing.T) {
+	for _, f := range faults.All() {
+		x := core.NewExplorer(cosim.RunFunc(pipeCfg(faults.Only(f))))
+		rep := x.Explore(core.Options{StopOnFirstFinding: true, MaxTime: 60 * time.Second})
+		if len(rep.Findings) != 1 {
+			t.Errorf("%s not found on the pipelined core: %v", f, rep.Stats)
+		}
+	}
+}
+
+// TestPipelineRV32MMatched sweeps the M-extension decode subtree on the
+// pipelined core against the M-enabled ISS.
+func TestPipelineRV32MMatched(t *testing.T) {
+	cfg := cosim.Config{
+		ISS: iss.Config{TrapOnMisaligned: true, EnableM: true},
+		Filter: cosim.Filters(cosim.BlockSystemInstructions,
+			cosim.OnlyMasked(0xfe00007f, uint32(riscv.F7MulDiv)<<25|riscv.OpReg)),
+		NewDUT: func(eng *core.Engine) cosim.DUT {
+			return pipecore.New(eng, pipecore.Config{EnableM: true})
+		},
+	}
+	x := core.NewExplorer(cosim.RunFunc(cfg))
+	rep := x.Explore(core.Options{MaxTime: 60 * time.Second})
+	if len(rep.Findings) != 0 {
+		t.Fatalf("pipeline M mismatch: %v", rep.Findings[0].Err)
+	}
+	if !rep.Exhausted || rep.Stats.Completed == 0 {
+		t.Fatalf("M sweep incomplete: %v", rep.Stats)
+	}
+}

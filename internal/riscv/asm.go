@@ -1,0 +1,341 @@
+package riscv
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// abiNames maps ABI register names to indices.
+var abiNames = map[string]uint32{
+	"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+	"t0": 5, "t1": 6, "t2": 7,
+	"s0": 8, "fp": 8, "s1": 9,
+	"a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+	"s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23,
+	"s8": 24, "s9": 25, "s10": 26, "s11": 27,
+	"t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+func parseReg(s string) (uint32, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if n, ok := abiNames[s]; ok {
+		return n, nil
+	}
+	if strings.HasPrefix(s, "x") {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < 32 {
+			return uint32(n), nil
+		}
+	}
+	return 0, fmt.Errorf("riscv: bad register %q", s)
+}
+
+func parseImm(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(strings.ToLower(s), "+"), 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("riscv: bad immediate %q", s)
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+func parseCSR(s string) (uint32, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if addr, ok := CSRByName(s); ok {
+		return uint32(addr), nil
+	}
+	v, err := parseImm(s)
+	if err != nil || v < 0 || v > 0xfff {
+		return 0, fmt.Errorf("riscv: bad CSR %q", s)
+	}
+	return uint32(v), nil
+}
+
+// parseMem parses "off(reg)" operands.
+func parseMem(s string) (off int64, reg uint32, err error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("riscv: bad memory operand %q", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		offStr = "0"
+	}
+	off, err = parseImm(offStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	reg, err = parseReg(s[open+1 : len(s)-1])
+	return off, reg, err
+}
+
+// Assemble translates one assembler line (the same syntax Disasm emits,
+// plus ABI register names and ".word") into an instruction word.
+func Assemble(line string) (uint32, error) {
+	line = strings.TrimSpace(line)
+	if i := strings.IndexByte(line, '#'); i >= 0 {
+		line = strings.TrimSpace(line[:i])
+	}
+	if line == "" {
+		return 0, fmt.Errorf("riscv: empty line")
+	}
+	fields := strings.SplitN(line, " ", 2)
+	mn := strings.ToLower(fields[0])
+	var ops []string
+	if len(fields) == 2 {
+		for _, o := range strings.Split(fields[1], ",") {
+			ops = append(ops, strings.TrimSpace(o))
+		}
+	}
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("riscv: %s needs %d operands, got %d", mn, n, len(ops))
+		}
+		return nil
+	}
+
+	switch mn {
+	case ".word":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		v, err := parseImm(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		return uint32(v), nil
+
+	case "fence":
+		return FENCE(), nil
+	case "ecall":
+		return ECALL(), nil
+	case "ebreak":
+		return EBREAK(), nil
+	case "wfi":
+		return WFI(), nil
+	case "mret":
+		return MRET(), nil
+	case "nop":
+		return ADDI(0, 0, 0), nil
+
+	case "lui", "auipc":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		imm, err := parseImm(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		if mn == "lui" {
+			return LUI(rd, uint32(imm)<<12), nil
+		}
+		return AUIPC(rd, uint32(imm)<<12), nil
+
+	case "jal":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		off, err := parseImm(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		return JAL(rd, int32(off)), nil
+
+	case "jalr":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		off, rs1, err := parseMem(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		return JALR(rd, rs1, int32(off)), nil
+
+	case "beq", "bne", "blt", "bge", "bltu", "bgeu":
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		rs1, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		rs2, err := parseReg(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		off, err := parseImm(ops[2])
+		if err != nil {
+			return 0, err
+		}
+		f := map[string]func(uint32, uint32, int32) uint32{
+			"beq": BEQ, "bne": BNE, "blt": BLT, "bge": BGE, "bltu": BLTU, "bgeu": BGEU,
+		}[mn]
+		return f(rs1, rs2, int32(off)), nil
+
+	case "lb", "lh", "lw", "lbu", "lhu":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		off, rs1, err := parseMem(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		f := map[string]func(uint32, uint32, int32) uint32{
+			"lb": LB, "lh": LH, "lw": LW, "lbu": LBU, "lhu": LHU,
+		}[mn]
+		return f(rd, rs1, int32(off)), nil
+
+	case "sb", "sh", "sw":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rs2, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		off, rs1, err := parseMem(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		f := map[string]func(uint32, uint32, int32) uint32{
+			"sb": SB, "sh": SH, "sw": SW,
+		}[mn]
+		return f(rs1, rs2, int32(off)), nil
+
+	case "addi", "slti", "sltiu", "xori", "ori", "andi":
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		rs1, err := parseReg(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		imm, err := parseImm(ops[2])
+		if err != nil {
+			return 0, err
+		}
+		f := map[string]func(uint32, uint32, int32) uint32{
+			"addi": ADDI, "slti": SLTI, "sltiu": SLTIU, "xori": XORI, "ori": ORI, "andi": ANDI,
+		}[mn]
+		return f(rd, rs1, int32(imm)), nil
+
+	case "slli", "srli", "srai":
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		rs1, err := parseReg(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		sh, err := parseImm(ops[2])
+		if err != nil || sh < 0 || sh > 31 {
+			return 0, fmt.Errorf("riscv: bad shift amount %q", ops[2])
+		}
+		f := map[string]func(uint32, uint32, uint32) uint32{
+			"slli": SLLI, "srli": SRLI, "srai": SRAI,
+		}[mn]
+		return f(rd, rs1, uint32(sh)), nil
+
+	case "add", "sub", "sll", "slt", "sltu", "xor", "srl", "sra", "or", "and",
+		"mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu":
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		rs1, err := parseReg(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		rs2, err := parseReg(ops[2])
+		if err != nil {
+			return 0, err
+		}
+		f := map[string]func(uint32, uint32, uint32) uint32{
+			"add": ADD, "sub": SUB, "sll": SLL, "slt": SLT, "sltu": SLTU,
+			"xor": XOR, "srl": SRL, "sra": SRA, "or": OR, "and": AND,
+			"mul": MUL, "mulh": MULH, "mulhsu": MULHSU, "mulhu": MULHU,
+			"div": DIV, "divu": DIVU, "rem": REM, "remu": REMU,
+		}[mn]
+		return f(rd, rs1, rs2), nil
+
+	case "csrrw", "csrrs", "csrrc":
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		csr, err := parseCSR(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		rs1, err := parseReg(ops[2])
+		if err != nil {
+			return 0, err
+		}
+		f := map[string]func(uint32, uint32, uint32) uint32{
+			"csrrw": CSRRW, "csrrs": CSRRS, "csrrc": CSRRC,
+		}[mn]
+		return f(rd, csr, rs1), nil
+
+	case "csrrwi", "csrrsi", "csrrci":
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return 0, err
+		}
+		csr, err := parseCSR(ops[1])
+		if err != nil {
+			return 0, err
+		}
+		z, err := parseImm(ops[2])
+		if err != nil || z < 0 || z > 31 {
+			return 0, fmt.Errorf("riscv: bad zimm %q", ops[2])
+		}
+		f := map[string]func(uint32, uint32, uint32) uint32{
+			"csrrwi": CSRRWI, "csrrsi": CSRRSI, "csrrci": CSRRCI,
+		}[mn]
+		return f(rd, csr, uint32(z)), nil
+	}
+	return 0, fmt.Errorf("riscv: unknown mnemonic %q", mn)
+}

@@ -1,0 +1,25 @@
+package riscv
+
+import "symriscv/internal/smt"
+
+// Machine-interrupt architectural constants.
+const (
+	// MstatusMIE is the global machine-interrupt-enable bit of mstatus.
+	MstatusMIE = 1 << 3
+	// MieMEIE is the machine-external-interrupt-enable bit of mie.
+	MieMEIE = 1 << 11
+	// CauseMachineExternalIRQ is the mcause value of a machine external
+	// interrupt (interrupt bit set).
+	CauseMachineExternalIRQ = 0x8000000B
+)
+
+// SymInterruptTaken builds the architectural take-condition for a machine
+// external interrupt: the external line is asserted, mstatus.MIE is set and
+// mie.MEIE is set. Both processor models build this same term, so matched
+// configurations resolve it with a single engine fork.
+func SymInterruptTaken(ctx *smt.Context, irq, mstatus, mie *smt.Term) *smt.Term {
+	mieBit := ctx.Eq(ctx.Extract(mstatus, 3, 3), ctx.BV(1, 1))
+	meie := ctx.Eq(ctx.Extract(mie, 11, 11), ctx.BV(1, 1))
+	line := ctx.Eq(irq, ctx.BV(1, 1))
+	return ctx.BAnd(line, ctx.BAnd(mieBit, meie))
+}

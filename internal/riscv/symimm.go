@@ -1,0 +1,61 @@
+package riscv
+
+import "symriscv/internal/smt"
+
+// Symbolic field and immediate extractors over a 32-bit instruction term.
+// These encode the ISA's format definitions; both processor models build
+// their data paths from them (the decode *tables* remain per-model — that is
+// where the injected decode faults live).
+
+// FieldRd extracts the rd register field (5 bits).
+func FieldRd(ctx *smt.Context, insn *smt.Term) *smt.Term { return ctx.Extract(insn, 11, 7) }
+
+// FieldRs1 extracts the rs1 register field (5 bits).
+func FieldRs1(ctx *smt.Context, insn *smt.Term) *smt.Term { return ctx.Extract(insn, 19, 15) }
+
+// FieldRs2 extracts the rs2 register field (5 bits).
+func FieldRs2(ctx *smt.Context, insn *smt.Term) *smt.Term { return ctx.Extract(insn, 24, 20) }
+
+// FieldCSR extracts the CSR address field (12 bits).
+func FieldCSR(ctx *smt.Context, insn *smt.Term) *smt.Term { return ctx.Extract(insn, 31, 20) }
+
+// FieldShamt extracts the shift amount of the shift-immediate formats (5 bits).
+func FieldShamt(ctx *smt.Context, insn *smt.Term) *smt.Term { return ctx.Extract(insn, 24, 20) }
+
+// SymImmI builds the sign-extended I-type immediate.
+func SymImmI(ctx *smt.Context, insn *smt.Term) *smt.Term {
+	return ctx.SExt(ctx.Extract(insn, 31, 20), 32)
+}
+
+// SymImmS builds the sign-extended S-type immediate.
+func SymImmS(ctx *smt.Context, insn *smt.Term) *smt.Term {
+	return ctx.SExt(ctx.Concat(ctx.Extract(insn, 31, 25), ctx.Extract(insn, 11, 7)), 32)
+}
+
+// SymImmB builds the sign-extended B-type immediate (byte offset).
+func SymImmB(ctx *smt.Context, insn *smt.Term) *smt.Term {
+	imm := ctx.Concat(ctx.Extract(insn, 31, 31), // imm[12]
+		ctx.Concat(ctx.Extract(insn, 7, 7), // imm[11]
+			ctx.Concat(ctx.Extract(insn, 30, 25), // imm[10:5]
+				ctx.Concat(ctx.Extract(insn, 11, 8), ctx.BV(1, 0))))) // imm[4:1], 0
+	return ctx.SExt(imm, 32)
+}
+
+// SymImmU builds the U-type immediate (bits 31..12, low bits zero).
+func SymImmU(ctx *smt.Context, insn *smt.Term) *smt.Term {
+	return ctx.Concat(ctx.Extract(insn, 31, 12), ctx.BV(12, 0))
+}
+
+// SymImmJ builds the sign-extended J-type immediate (byte offset).
+func SymImmJ(ctx *smt.Context, insn *smt.Term) *smt.Term {
+	imm := ctx.Concat(ctx.Extract(insn, 31, 31), // imm[20]
+		ctx.Concat(ctx.Extract(insn, 19, 12), // imm[19:12]
+			ctx.Concat(ctx.Extract(insn, 20, 20), // imm[11]
+				ctx.Concat(ctx.Extract(insn, 30, 21), ctx.BV(1, 0))))) // imm[10:1], 0
+	return ctx.SExt(imm, 32)
+}
+
+// SymZimm builds the zero-extended CSR immediate (uimm field).
+func SymZimm(ctx *smt.Context, insn *smt.Term) *smt.Term {
+	return ctx.ZExt(ctx.Extract(insn, 19, 15), 32)
+}

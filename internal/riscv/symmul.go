@@ -1,0 +1,70 @@
+package riscv
+
+import "symriscv/internal/smt"
+
+// RV32M semantics over 32-bit terms. Like the immediate codecs, these are
+// ISA-level definitions shared by the processor models: both sides intern
+// the *same* term shapes, so the voter's pointer-equality fast path applies
+// and no (expensive) multiplier/divider equivalence proof is ever needed in
+// a matched configuration. The RISC-V-mandated division edge cases
+// (division by zero, signed overflow) are encoded explicitly.
+
+// SymMul returns the low 32 bits of a*b (MUL).
+func SymMul(ctx *smt.Context, a, b *smt.Term) *smt.Term {
+	return ctx.Mul(a, b)
+}
+
+// SymMulH returns the high 32 bits of the signed×signed product (MULH).
+func SymMulH(ctx *smt.Context, a, b *smt.Term) *smt.Term {
+	p := ctx.Mul(ctx.SExt(a, 64), ctx.SExt(b, 64))
+	return ctx.Extract(p, 63, 32)
+}
+
+// SymMulHSU returns the high 32 bits of the signed×unsigned product (MULHSU).
+func SymMulHSU(ctx *smt.Context, a, b *smt.Term) *smt.Term {
+	p := ctx.Mul(ctx.SExt(a, 64), ctx.ZExt(b, 64))
+	return ctx.Extract(p, 63, 32)
+}
+
+// SymMulHU returns the high 32 bits of the unsigned×unsigned product (MULHU).
+func SymMulHU(ctx *smt.Context, a, b *smt.Term) *smt.Term {
+	p := ctx.Mul(ctx.ZExt(a, 64), ctx.ZExt(b, 64))
+	return ctx.Extract(p, 63, 32)
+}
+
+// SymDivU returns DIVU: unsigned division with x/0 = 2^32-1 (which is the
+// SMT-LIB bvudiv convention, so no special case is needed).
+func SymDivU(ctx *smt.Context, a, b *smt.Term) *smt.Term {
+	return ctx.UDiv(a, b)
+}
+
+// SymRemU returns REMU: unsigned remainder with x%0 = x (the SMT-LIB bvurem
+// convention).
+func SymRemU(ctx *smt.Context, a, b *smt.Term) *smt.Term {
+	return ctx.URem(a, b)
+}
+
+func symAbs(ctx *smt.Context, x *smt.Term) *smt.Term {
+	zero := ctx.BV(32, 0)
+	return ctx.Ite(ctx.Slt(x, zero), ctx.Neg(x), x)
+}
+
+// SymDiv returns DIV: signed division via unsigned magnitudes, with the
+// RISC-V edge cases: x/0 = -1, and INT_MIN / -1 = INT_MIN (which the
+// magnitude construction already yields).
+func SymDiv(ctx *smt.Context, a, b *smt.Term) *smt.Term {
+	zero := ctx.BV(32, 0)
+	qmag := ctx.UDiv(symAbs(ctx, a), symAbs(ctx, b))
+	diffSign := ctx.BXor(ctx.Slt(a, zero), ctx.Slt(b, zero))
+	q := ctx.Ite(diffSign, ctx.Neg(qmag), qmag)
+	return ctx.Ite(ctx.Eq(b, zero), ctx.BV(32, 0xffffffff), q)
+}
+
+// SymRem returns REM: signed remainder (sign follows the dividend), with
+// x%0 = x; INT_MIN % -1 = 0 falls out of the magnitude construction.
+func SymRem(ctx *smt.Context, a, b *smt.Term) *smt.Term {
+	zero := ctx.BV(32, 0)
+	rmag := ctx.URem(symAbs(ctx, a), symAbs(ctx, b))
+	r := ctx.Ite(ctx.Slt(a, zero), ctx.Neg(rmag), rmag)
+	return ctx.Ite(ctx.Eq(b, zero), a, r)
+}

@@ -1,0 +1,31 @@
+// Package rvfi models the subset of the RISC-V Formal Interface (RVFI) that
+// the co-simulation voter observes: one retirement record per architecturally
+// executed instruction, carrying the (possibly symbolic) architectural
+// effects of that instruction.
+package rvfi
+
+import "symriscv/internal/smt"
+
+// Retirement is one RVFI record. Data values are smt terms (width 32) so the
+// voter can compare them symbolically; control-flow facts (trap taken, rd
+// index) are concrete on every explored path by construction.
+type Retirement struct {
+	Valid bool   // rvfi_valid: a retirement happened this cycle
+	Order uint64 // rvfi_order: retirement index
+
+	Insn *smt.Term // rvfi_insn: the instruction word
+
+	Trap  bool   // rvfi_trap: the instruction trapped
+	Cause uint32 // mcause value when Trap is set
+
+	PCRData *smt.Term // rvfi_pc_rdata: PC of this instruction
+	PCWData *smt.Term // rvfi_pc_wdata: PC of the next instruction
+
+	RdAddr  int       // rvfi_rd_addr: destination register (0 = none)
+	RdWData *smt.Term // rvfi_rd_wdata: value written (nil when RdAddr == 0)
+
+	MemAddr  *smt.Term // rvfi_mem_addr: effective address of a load/store
+	MemRMask uint8     // rvfi_mem_rmask: bytes read
+	MemWMask uint8     // rvfi_mem_wmask: bytes written
+	MemWData *smt.Term // rvfi_mem_wdata: store data (LSB-aligned, zero-extended)
+}

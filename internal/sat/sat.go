@@ -1,0 +1,798 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT solver
+// in the MiniSat lineage: two-literal watching with blocker literals, first-UIP
+// conflict analysis, VSIDS variable activity with phase saving, Luby restarts,
+// and LBD-guided learnt-clause database reduction.
+//
+// The solver is incremental: variables and clauses may be added between calls
+// to Solve, and Solve accepts assumption literals that hold only for that
+// call. This is the backend of the bit-vector solver in internal/solver.
+package sat
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Var is a propositional variable index, starting at 0.
+type Var int32
+
+// Lit is a literal: variable times two, plus one if negated.
+type Lit int32
+
+// MkLit constructs a literal for v, negated if neg is true.
+func MkLit(v Var, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Neg returns the complement literal.
+func (l Lit) Neg() Lit { return l ^ 1 }
+
+// Sign reports whether the literal is negated.
+func (l Lit) Sign() bool { return l&1 == 1 }
+
+// String renders the literal as v3 or ~v3.
+func (l Lit) String() string {
+	if l.Sign() {
+		return fmt.Sprintf("~v%d", l.Var())
+	}
+	return fmt.Sprintf("v%d", l.Var())
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+func boolToLbool(b bool) lbool {
+	if b {
+		return lTrue
+	}
+	return lFalse
+}
+
+type clause struct {
+	lits   []Lit
+	act    float32
+	lbd    uint32
+	learnt bool
+}
+
+type watcher struct {
+	c       *clause
+	blocker Lit
+}
+
+// Status is the result of a Solve call.
+type Status int8
+
+// Solve outcomes.
+const (
+	Unknown Status = iota
+	Sat
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+// Stats holds cumulative solver counters.
+type Stats struct {
+	Conflicts    uint64
+	Decisions    uint64
+	Propagations uint64
+	Restarts     uint64
+	Learnt       uint64
+	Removed      uint64
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; call New.
+type Solver struct {
+	clauses []*clause
+	learnts []*clause
+
+	watches [][]watcher // indexed by Lit
+
+	assigns  []lbool // indexed by Var
+	level    []int32
+	reason   []*clause
+	phase    []bool
+	activity []float64
+
+	trail    []Lit
+	trailLim []int32
+	qhead    int
+
+	order  varHeap
+	varInc float64
+	claInc float64
+
+	seen       []bool
+	analyzeTmp []Lit
+
+	ok bool // false once the clause set is unsat at level 0
+
+	conflictAssumps []Lit // failed assumptions after an Unsat answer
+
+	stats Stats
+
+	// Budget limits one Solve call; 0 means unlimited.
+	ConflictBudget uint64
+}
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{
+		varInc: 1,
+		claInc: 1,
+		ok:     true,
+	}
+	s.order.activity = &s.activity
+	return s
+}
+
+// Stats returns cumulative counters.
+func (s *Solver) Stats() Stats { return s.stats }
+
+// NumVars returns the number of variables created.
+func (s *Solver) NumVars() int { return len(s.assigns) }
+
+// NumClauses returns the number of problem clauses currently stored.
+func (s *Solver) NumClauses() int { return len(s.clauses) }
+
+// NewVar creates a fresh variable.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.assigns))
+	s.assigns = append(s.assigns, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.phase = append(s.phase, false)
+	s.activity = append(s.activity, 0)
+	s.seen = append(s.seen, false)
+	s.watches = append(s.watches, nil, nil)
+	s.order.insert(v)
+	return v
+}
+
+func (s *Solver) value(l Lit) lbool {
+	a := s.assigns[l.Var()]
+	if a == lUndef {
+		return lUndef
+	}
+	if l.Sign() {
+		if a == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return a
+}
+
+func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
+
+// AddClause adds a problem clause. It returns false if the clause set became
+// trivially unsatisfiable. Adding clauses is only legal between Solve calls
+// (the solver backtracks to level 0 automatically).
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	s.cancelUntil(0)
+
+	// Sort-free simplification: drop duplicate and false literals, detect
+	// tautologies and satisfied clauses.
+	out := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		if int(l.Var()) >= len(s.assigns) {
+			panic(fmt.Sprintf("sat: literal %v references unknown variable", l))
+		}
+		switch s.value(l) {
+		case lTrue:
+			return true // already satisfied at level 0
+		case lFalse:
+			continue // cannot help
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Neg() {
+				return true // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		s.uncheckedEnqueue(out[0], nil)
+		s.ok = s.propagate() == nil
+		return s.ok
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c *clause) {
+	l0, l1 := c.lits[0], c.lits[1]
+	s.watches[l0.Neg()] = append(s.watches[l0.Neg()], watcher{c, l1})
+	s.watches[l1.Neg()] = append(s.watches[l1.Neg()], watcher{c, l0})
+}
+
+func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
+	v := l.Var()
+	s.assigns[v] = boolToLbool(!l.Sign())
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = from
+	s.phase[v] = !l.Sign()
+	s.trail = append(s.trail, l)
+}
+
+// propagate performs unit propagation; it returns a conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.stats.Propagations++
+
+		ws := s.watches[p]
+		kept := ws[:0]
+		var confl *clause
+	nextWatcher:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			if confl != nil {
+				kept = append(kept, w)
+				continue
+			}
+			if s.value(w.blocker) == lTrue {
+				kept = append(kept, w)
+				continue
+			}
+			c := w.c
+			// Ensure the false literal (¬p) is at position 1.
+			np := p.Neg()
+			if c.lits[0] == np {
+				c.lits[0], c.lits[1] = c.lits[1], np
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.value(first) == lTrue {
+				kept = append(kept, watcher{c, first})
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.value(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					nw := c.lits[1].Neg()
+					s.watches[nw] = append(s.watches[nw], watcher{c, first})
+					continue nextWatcher
+				}
+			}
+			// Clause is unit or conflicting.
+			kept = append(kept, watcher{c, first})
+			if s.value(first) == lFalse {
+				confl = c
+				s.qhead = len(s.trail)
+				continue
+			}
+			s.uncheckedEnqueue(first, c)
+		}
+		s.watches[p] = kept
+		if confl != nil {
+			return confl
+		}
+	}
+	return nil
+}
+
+func (s *Solver) cancelUntil(lvl int32) {
+	if s.decisionLevel() <= lvl {
+		return
+	}
+	bound := s.trailLim[lvl]
+	for i := len(s.trail) - 1; i >= int(bound); i-- {
+		v := s.trail[i].Var()
+		s.assigns[v] = lUndef
+		s.reason[v] = nil
+		s.order.insert(v)
+	}
+	s.trail = s.trail[:bound]
+	s.trailLim = s.trailLim[:lvl]
+	s.qhead = len(s.trail)
+}
+
+func (s *Solver) varBump(v Var) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) varDecay() { s.varInc /= 0.95 }
+
+func (s *Solver) claBump(c *clause) {
+	c.act += float32(s.claInc)
+	if c.act > 1e20 {
+		for _, lc := range s.learnts {
+			lc.act *= 1e-20
+		}
+		s.claInc *= 1e-20
+	}
+}
+
+func (s *Solver) claDecay() { s.claInc /= 0.999 }
+
+// analyze performs first-UIP conflict analysis, returning the learnt clause
+// (asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl *clause) (learnt []Lit, btLevel int32) {
+	learnt = append(s.analyzeTmp[:0], 0) // reserve slot 0 for the asserting literal
+	seenCount := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+
+	for {
+		if confl.learnt {
+			s.claBump(confl)
+		}
+		start := 0
+		if p != -1 {
+			start = 1
+		}
+		for _, q := range confl.lits[start:] {
+			v := q.Var()
+			if s.seen[v] || s.level[v] == 0 {
+				continue
+			}
+			s.seen[v] = true
+			s.varBump(v)
+			if s.level[v] >= s.decisionLevel() {
+				seenCount++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find the next literal on the trail that participates.
+		for !s.seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		v := p.Var()
+		s.seen[v] = false
+		seenCount--
+		if seenCount == 0 {
+			break
+		}
+		confl = s.reason[v]
+	}
+	learnt[0] = p.Neg()
+
+	// Remember every flagged literal so the seen flags can be cleared even
+	// for literals removed by minimisation below.
+	toClear := append([]Lit(nil), learnt[1:]...)
+
+	// Minimise: drop literals implied by the rest of the clause (local check).
+	j := 1
+	for i := 1; i < len(learnt); i++ {
+		v := learnt[i].Var()
+		r := s.reason[v]
+		if r == nil {
+			learnt[j] = learnt[i]
+			j++
+			continue
+		}
+		redundant := true
+		for _, q := range r.lits[1:] {
+			if !s.seen[q.Var()] && s.level[q.Var()] > 0 {
+				redundant = false
+				break
+			}
+		}
+		if !redundant {
+			learnt[j] = learnt[i]
+			j++
+		}
+	}
+	learnt = learnt[:j]
+
+	// Clear seen flags for kept literals and compute the backtrack level.
+	btLevel = 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.level[learnt[i].Var()] > s.level[learnt[maxI].Var()] {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = s.level[learnt[1].Var()]
+	}
+	for _, q := range toClear {
+		s.seen[q.Var()] = false
+	}
+	s.analyzeTmp = learnt
+	return learnt, btLevel
+}
+
+// computeLBD returns the number of distinct decision levels in the clause.
+func (s *Solver) computeLBD(lits []Lit) uint32 {
+	levels := make(map[int32]struct{}, len(lits))
+	for _, l := range lits {
+		levels[s.level[l.Var()]] = struct{}{}
+	}
+	return uint32(len(levels))
+}
+
+// analyzeFinal collects the subset of assumptions responsible for forcing
+// the complement of p, storing them in conflictAssumps.
+func (s *Solver) analyzeFinal(p Lit) {
+	s.conflictAssumps = s.conflictAssumps[:0]
+	s.conflictAssumps = append(s.conflictAssumps, p)
+	if s.decisionLevel() == 0 {
+		return
+	}
+	s.seen[p.Var()] = true
+	for i := len(s.trail) - 1; i >= int(s.trailLim[0]); i-- {
+		v := s.trail[i].Var()
+		if !s.seen[v] {
+			continue
+		}
+		if s.reason[v] == nil {
+			if s.level[v] > 0 {
+				s.conflictAssumps = append(s.conflictAssumps, s.trail[i].Neg())
+			}
+		} else {
+			for _, q := range s.reason[v].lits[1:] {
+				if s.level[q.Var()] > 0 {
+					s.seen[q.Var()] = true
+				}
+			}
+		}
+		s.seen[v] = false
+	}
+	s.seen[p.Var()] = false
+}
+
+func (s *Solver) pickBranchLit() Lit {
+	for {
+		v, ok := s.order.removeMax()
+		if !ok {
+			return -1
+		}
+		if s.assigns[v] == lUndef {
+			return MkLit(v, !s.phase[v])
+		}
+	}
+}
+
+// luby computes the Luby restart sequence value for 0-based index i:
+// 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+func luby(i uint64) uint64 {
+	// Find the finite subsequence containing index i and its size.
+	var size uint64 = 1
+	var seq uint
+	for size < i+1 {
+		seq++
+		size = 2*size + 1
+	}
+	for size-1 != i {
+		size = (size - 1) / 2
+		seq--
+		i %= size
+	}
+	return uint64(1) << seq
+}
+
+// reduceDB removes roughly the worst half of the learnt clauses, never
+// removing reason ("locked") clauses, binary clauses, or glue (lbd <= 2).
+func (s *Solver) reduceDB() {
+	ls := s.learnts
+	if len(ls) < 100 {
+		return
+	}
+	sort.Slice(ls, func(i, j int) bool { return worse(ls[i], ls[j]) })
+	target := len(ls) / 2
+	keep := ls[:0]
+	for i, c := range ls {
+		if i < target && c.lbd > 2 && len(c.lits) > 2 && !s.locked(c) {
+			s.detach(c)
+			s.stats.Removed++
+			continue
+		}
+		keep = append(keep, c)
+	}
+	s.learnts = keep
+}
+
+// worse orders clauses so that less valuable clauses come first.
+func worse(a, b *clause) bool {
+	if a.lbd != b.lbd {
+		return a.lbd > b.lbd
+	}
+	return a.act < b.act
+}
+
+func (s *Solver) locked(c *clause) bool {
+	return s.reason[c.lits[0].Var()] == c
+}
+
+func (s *Solver) detach(c *clause) {
+	for _, l := range []Lit{c.lits[0].Neg(), c.lits[1].Neg()} {
+		ws := s.watches[l]
+		for i, w := range ws {
+			if w.c == c {
+				ws[i] = ws[len(ws)-1]
+				s.watches[l] = ws[:len(ws)-1]
+				break
+			}
+		}
+	}
+}
+
+// Solve determines satisfiability of the clause set conjoined with the given
+// assumption literals. On Sat, Model/ValueOf are valid; on Unsat,
+// FailedAssumptions reports an inconsistent assumption subset. Unknown is
+// returned only when ConflictBudget is exhausted.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	if !s.ok {
+		s.conflictAssumps = s.conflictAssumps[:0]
+		return Unsat
+	}
+	s.cancelUntil(0)
+	s.conflictAssumps = s.conflictAssumps[:0]
+
+	conflictsAtStart := s.stats.Conflicts
+	var restartSeq uint64
+	restartBudget := luby(restartSeq) * 100
+	var conflictsSinceRestart uint64
+	maxLearnts := 4000 + len(s.clauses)/2
+
+	for {
+		confl := s.propagate()
+		if confl != nil {
+			s.stats.Conflicts++
+			conflictsSinceRestart++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.cancelUntil(btLevel)
+			if len(learnt) == 1 {
+				s.uncheckedEnqueue(learnt[0], nil)
+			} else {
+				c := &clause{lits: append([]Lit(nil), learnt...), learnt: true}
+				c.lbd = s.computeLBD(c.lits)
+				s.learnts = append(s.learnts, c)
+				s.stats.Learnt++
+				s.attach(c)
+				s.claBump(c)
+				s.uncheckedEnqueue(learnt[0], c)
+			}
+			s.varDecay()
+			s.claDecay()
+			if s.ConflictBudget > 0 && s.stats.Conflicts-conflictsAtStart > s.ConflictBudget {
+				s.cancelUntil(0)
+				return Unknown
+			}
+			continue
+		}
+
+		if conflictsSinceRestart >= restartBudget {
+			conflictsSinceRestart = 0
+			restartSeq++
+			restartBudget = luby(restartSeq) * 100
+			s.stats.Restarts++
+			s.cancelUntil(0)
+			continue
+		}
+		if len(s.learnts) > maxLearnts {
+			s.reduceDB()
+			maxLearnts += maxLearnts / 10
+		}
+
+		// Enqueue pending assumptions, one decision level each.
+		next := Lit(-1)
+		for int(s.decisionLevel()) < len(assumptions) {
+			p := assumptions[s.decisionLevel()]
+			switch s.value(p) {
+			case lTrue:
+				// Dummy level so indices line up.
+				s.trailLim = append(s.trailLim, int32(len(s.trail)))
+			case lFalse:
+				s.analyzeFinal(p.Neg())
+				s.cancelUntil(0)
+				return Unsat
+			default:
+				next = p
+			}
+			if next != -1 {
+				break
+			}
+		}
+		if next == -1 {
+			s.stats.Decisions++
+			next = s.pickBranchLit()
+			if next == -1 {
+				return Sat // all variables assigned
+			}
+		}
+		s.trailLim = append(s.trailLim, int32(len(s.trail)))
+		s.uncheckedEnqueue(next, nil)
+	}
+}
+
+// ValueOf returns the model value of v after a Sat answer. Unassigned
+// variables (possible after simplification) read as false.
+func (s *Solver) ValueOf(v Var) bool {
+	return s.assigns[v] == lTrue
+}
+
+// LitValue returns the model value of literal l after a Sat answer.
+func (s *Solver) LitValue(l Lit) bool {
+	if l.Sign() {
+		return !s.ValueOf(l.Var())
+	}
+	return s.ValueOf(l.Var())
+}
+
+// FailedAssumptions returns (a superset-minimised subset of) the assumptions
+// that made the last Solve call Unsat. Empty when the clause set itself is
+// unsatisfiable.
+func (s *Solver) FailedAssumptions() []Lit {
+	out := make([]Lit, len(s.conflictAssumps))
+	copy(out, s.conflictAssumps)
+	return out
+}
+
+// varHeap is an indexed max-heap ordered by variable activity.
+type varHeap struct {
+	heap     []Var
+	indices  []int32 // position+1 in heap; 0 = absent
+	activity *[]float64
+}
+
+func (h *varHeap) less(a, b Var) bool {
+	return (*h.activity)[a] > (*h.activity)[b]
+}
+
+func (h *varHeap) insert(v Var) {
+	for int(v) >= len(h.indices) {
+		h.indices = append(h.indices, 0)
+	}
+	if h.indices[v] != 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.indices[v] = int32(len(h.heap))
+	h.up(len(h.heap) - 1)
+}
+
+func (h *varHeap) update(v Var) {
+	if int(v) < len(h.indices) && h.indices[v] != 0 {
+		h.up(int(h.indices[v]) - 1)
+	}
+}
+
+func (h *varHeap) removeMax() (Var, bool) {
+	if len(h.heap) == 0 {
+		return 0, false
+	}
+	v := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.indices[h.heap[0]] = 1
+	h.heap = h.heap[:last]
+	h.indices[v] = 0
+	if last > 0 {
+		h.down(0)
+	}
+	return v, true
+}
+
+func (h *varHeap) up(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(v, h.heap[p]) {
+			break
+		}
+		h.heap[i] = h.heap[p]
+		h.indices[h.heap[i]] = int32(i + 1)
+		i = p
+	}
+	h.heap[i] = v
+	h.indices[v] = int32(i + 1)
+}
+
+func (h *varHeap) down(i int) {
+	v := h.heap[i]
+	n := len(h.heap)
+	for {
+		c := 2*i + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && h.less(h.heap[c+1], h.heap[c]) {
+			c++
+		}
+		if !h.less(h.heap[c], v) {
+			break
+		}
+		h.heap[i] = h.heap[c]
+		h.indices[h.heap[i]] = int32(i + 1)
+		i = c
+	}
+	h.heap[i] = v
+	h.indices[v] = int32(i + 1)
+}
+
+// WriteDIMACS dumps the problem clauses (not learnt clauses) plus the
+// current level-0 unit assignments in DIMACS CNF format, for interoperating
+// with external SAT tooling.
+func (s *Solver) WriteDIMACS(w io.Writer) error {
+	s.cancelUntil(0)
+	units := len(s.trail)
+	if !s.ok {
+		// Canonical unsatisfiable instance.
+		_, err := fmt.Fprintf(w, "p cnf 1 2\n1 0\n-1 0\n")
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "p cnf %d %d\n", len(s.assigns), len(s.clauses)+units); err != nil {
+		return err
+	}
+	dimacs := func(l Lit) int {
+		v := int(l.Var()) + 1
+		if l.Sign() {
+			return -v
+		}
+		return v
+	}
+	for _, l := range s.trail {
+		if _, err := fmt.Fprintf(w, "%d 0\n", dimacs(l)); err != nil {
+			return err
+		}
+	}
+	for _, c := range s.clauses {
+		for _, l := range c.lits {
+			if _, err := fmt.Fprintf(w, "%d ", dimacs(l)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w, "0"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package smt
+
+import "fmt"
+
+// Env supplies concrete values for variables during evaluation.
+type Env interface {
+	// Lookup returns the value of the named variable at the given width.
+	Lookup(name string, width int) (uint64, bool)
+}
+
+// MapEnv is an Env backed by a map from variable name to value.
+type MapEnv map[string]uint64
+
+// Lookup implements Env.
+func (m MapEnv) Lookup(name string, _ int) (uint64, bool) {
+	v, ok := m[name]
+	return v, ok
+}
+
+// Eval computes the concrete value of t under env. Bit-vector results are in
+// the low Width() bits; Boolean results are 0 or 1. It returns an error if a
+// variable has no binding.
+//
+// Eval is used by property-based tests to cross-check the bit-blaster and by
+// the verification harness to confirm counterexamples by concrete replay.
+func Eval(t *Term, env Env) (uint64, error) {
+	cache := make(map[*Term]uint64)
+	return eval(t, env, cache)
+}
+
+func eval(t *Term, env Env, cache map[*Term]uint64) (uint64, error) {
+	if v, ok := cache[t]; ok {
+		return v, nil
+	}
+	var args [3]uint64
+	for i := 0; i < t.NumArgs(); i++ {
+		v, err := eval(t.Arg(i), env, cache)
+		if err != nil {
+			return 0, err
+		}
+		args[i] = v
+	}
+	w := t.Width()
+	var v uint64
+	switch t.Kind() {
+	case KConst:
+		v = t.val
+	case KVar:
+		x, ok := env.Lookup(t.name, w)
+		if !ok {
+			return 0, fmt.Errorf("smt: eval: unbound variable %q", t.name)
+		}
+		v = x & mask(w)
+	case KAdd:
+		v = (args[0] + args[1]) & mask(w)
+	case KSub:
+		v = (args[0] - args[1]) & mask(w)
+	case KMul:
+		v = (args[0] * args[1]) & mask(w)
+	case KNeg:
+		v = (-args[0]) & mask(w)
+	case KUDiv:
+		v = udivVals(args[0], args[1], w)
+	case KURem:
+		v = uremVals(args[0], args[1])
+	case KAnd:
+		v = args[0] & args[1]
+	case KOr:
+		v = args[0] | args[1]
+	case KXor:
+		v = args[0] ^ args[1]
+	case KNot:
+		v = ^args[0] & mask(w)
+	case KShl:
+		if args[1] >= uint64(w) {
+			v = 0
+		} else {
+			v = (args[0] << args[1]) & mask(w)
+		}
+	case KLshr:
+		if args[1] >= uint64(w) {
+			v = 0
+		} else {
+			v = args[0] >> args[1]
+		}
+	case KAshr:
+		sh := args[1]
+		if sh >= uint64(w) {
+			if SignBit(args[0], w) {
+				v = mask(w)
+			} else {
+				v = 0
+			}
+		} else {
+			v = (SignExt(args[0], w) >> sh) & mask(w)
+		}
+	case KConcat:
+		v = args[0]<<uint(t.Arg(1).Width()) | args[1]
+	case KExtract:
+		_, lo := t.ExtractBounds()
+		v = (args[0] >> uint(lo)) & mask(w)
+	case KZExt:
+		v = args[0]
+	case KSExt:
+		v = SignExt(args[0], t.Arg(0).Width()) & mask(w)
+	case KIte:
+		if args[0] != 0 {
+			v = args[1]
+		} else {
+			v = args[2]
+		}
+	case KTrue:
+		v = 1
+	case KFalse:
+		v = 0
+	case KEq:
+		v = b2u(args[0] == args[1])
+	case KUlt:
+		v = b2u(args[0] < args[1])
+	case KUle:
+		v = b2u(args[0] <= args[1])
+	case KSlt:
+		aw := t.Arg(0).Width()
+		v = b2u(int64(SignExt(args[0], aw)) < int64(SignExt(args[1], aw)))
+	case KSle:
+		aw := t.Arg(0).Width()
+		v = b2u(int64(SignExt(args[0], aw)) <= int64(SignExt(args[1], aw)))
+	case KBAnd:
+		v = args[0] & args[1]
+	case KBOr:
+		v = args[0] | args[1]
+	case KBXor:
+		v = args[0] ^ args[1]
+	case KBNot:
+		v = args[0] ^ 1
+	default:
+		return 0, fmt.Errorf("smt: eval: unsupported kind %v", t.Kind())
+	}
+	cache[t] = v
+	return v, nil
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// EvalBool evaluates a Boolean term under env.
+func EvalBool(t *Term, env Env) (bool, error) {
+	if !t.IsBool() {
+		return false, fmt.Errorf("smt: EvalBool on bit-vector term")
+	}
+	v, err := Eval(t, env)
+	return v != 0, err
+}

@@ -1,0 +1,55 @@
+package smt
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the term in an SMT-LIB-flavoured prefix syntax. Shared
+// sub-terms are printed in full (no let-binding), so use it for small terms
+// and debugging.
+func (t *Term) String() string {
+	var b strings.Builder
+	writeTerm(&b, t, 0)
+	return b.String()
+}
+
+const printDepthLimit = 64
+
+func writeTerm(b *strings.Builder, t *Term, depth int) {
+	if depth > printDepthLimit {
+		b.WriteString("...")
+		return
+	}
+	switch t.Kind() {
+	case KConst:
+		fmt.Fprintf(b, "#x%0*x", (t.Width()+3)/4, t.val)
+	case KVar:
+		b.WriteString(t.name)
+	case KTrue:
+		b.WriteString("true")
+	case KFalse:
+		b.WriteString("false")
+	case KExtract:
+		hi, lo := t.ExtractBounds()
+		fmt.Fprintf(b, "((_ extract %d %d) ", hi, lo)
+		writeTerm(b, t.Arg(0), depth+1)
+		b.WriteByte(')')
+	case KZExt:
+		fmt.Fprintf(b, "((_ zero_extend %d) ", t.Width()-t.Arg(0).Width())
+		writeTerm(b, t.Arg(0), depth+1)
+		b.WriteByte(')')
+	case KSExt:
+		fmt.Fprintf(b, "((_ sign_extend %d) ", t.Width()-t.Arg(0).Width())
+		writeTerm(b, t.Arg(0), depth+1)
+		b.WriteByte(')')
+	default:
+		b.WriteByte('(')
+		b.WriteString(t.Kind().String())
+		for i := 0; i < t.NumArgs(); i++ {
+			b.WriteByte(' ')
+			writeTerm(b, t.Arg(i), depth+1)
+		}
+		b.WriteByte(')')
+	}
+}

@@ -1,0 +1,25 @@
+package smtlib_test
+
+import (
+	"os"
+
+	"symriscv/internal/smtlib"
+)
+
+// Example solves a small bit-vector constraint system from SMT-LIB text.
+func Example() {
+	in := smtlib.NewInterp(os.Stdout)
+	err := in.Run(`
+		(set-logic QF_BV)
+		(declare-const x (_ BitVec 8))
+		(assert (= (bvmul x #x03) #x2d))
+		(check-sat)
+		(get-value (x))
+	`)
+	if err != nil {
+		panic(err)
+	}
+	// Output:
+	// sat
+	// ((x #x0f))
+}

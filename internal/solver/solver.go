@@ -1,0 +1,139 @@
+// Package solver provides a QF_BV satisfiability solver on top of the
+// bit-blaster and the CDCL SAT core.
+//
+// A Solver owns one growing SAT instance. Permanent facts are added with
+// Assert; Check answers satisfiability of the asserted set conjoined with
+// per-call assumption terms. Because the CNF encoding of every term is cached
+// and assumptions map to SAT assumption literals, a long series of Check
+// calls over overlapping path constraints — the access pattern of the
+// symbolic execution engine — reuses all prior encoding and learned-clause
+// work.
+package solver
+
+import (
+	"symriscv/internal/bitblast"
+	"symriscv/internal/sat"
+	"symriscv/internal/smt"
+)
+
+// Result is the outcome of a Check call.
+type Result int8
+
+// Check outcomes.
+const (
+	Unknown Result = iota
+	Sat
+	Unsat
+)
+
+func (r Result) String() string {
+	switch r {
+	case Sat:
+		return "sat"
+	case Unsat:
+		return "unsat"
+	}
+	return "unknown"
+}
+
+// Stats holds cumulative solver-facade counters.
+type Stats struct {
+	Checks   uint64
+	SatAns   uint64
+	UnsatAns uint64
+	SAT      sat.Stats
+}
+
+// Solver decides QF_BV formulas built in one smt.Context.
+type Solver struct {
+	ctx *smt.Context
+	sat *sat.Solver
+	bb  *bitblast.Blaster
+
+	stats Stats
+}
+
+// New returns a solver for terms of ctx.
+func New(ctx *smt.Context) *Solver {
+	s := sat.New()
+	return &Solver{
+		ctx: ctx,
+		sat: s,
+		bb:  bitblast.New(ctx, s),
+	}
+}
+
+// Context returns the term context this solver works over.
+func (s *Solver) Context() *smt.Context { return s.ctx }
+
+// SetConflictBudget bounds the SAT effort of each Check call; 0 removes the
+// bound. Exceeding the budget yields Unknown.
+func (s *Solver) SetConflictBudget(n uint64) { s.sat.ConflictBudget = n }
+
+// Assert permanently adds the Boolean term t to the solver.
+func (s *Solver) Assert(t *smt.Term) {
+	s.sat.AddClause(s.bb.LitFor(t))
+}
+
+// Check reports satisfiability of the asserted facts plus the given
+// assumptions. After Sat, Model and ModelValue read the witness.
+func (s *Solver) Check(assumptions ...*smt.Term) Result {
+	lits := make([]sat.Lit, len(assumptions))
+	for i, t := range assumptions {
+		lits[i] = s.bb.LitFor(t)
+	}
+	s.stats.Checks++
+	switch s.sat.Solve(lits...) {
+	case sat.Sat:
+		s.stats.SatAns++
+		return Sat
+	case sat.Unsat:
+		s.stats.UnsatAns++
+		return Unsat
+	}
+	return Unknown
+}
+
+// ModelValue returns the value of t under the model of the last Sat answer.
+// Terms that were not part of any checked formula are unconstrained; their
+// variables read as zero. Composite terms are evaluated over the variable
+// assignment, so any term of the context may be queried.
+func (s *Solver) ModelValue(t *smt.Term) uint64 {
+	if v, ok := s.bb.ModelValue(t); ok {
+		return v
+	}
+	v, err := smt.Eval(t, s.Model())
+	if err != nil {
+		// Unreachable: Model binds every variable of the context.
+		panic("solver: ModelValue: " + err.Error())
+	}
+	return v
+}
+
+// Model returns a complete assignment for every variable of the context,
+// reading encoded variables from the SAT model and defaulting unconstrained
+// ones to zero. Valid after a Sat answer.
+func (s *Solver) Model() smt.MapEnv {
+	env := make(smt.MapEnv)
+	for _, v := range s.ctx.Vars() {
+		if val, ok := s.bb.ModelValue(v); ok {
+			env[v.Name()] = val
+		} else {
+			env[v.Name()] = 0
+		}
+	}
+	return env
+}
+
+// Stats returns cumulative counters.
+func (s *Solver) Stats() Stats {
+	st := s.stats
+	st.SAT = s.sat.Stats()
+	return st
+}
+
+// NumSATVars exposes the size of the underlying SAT instance (for reporting).
+func (s *Solver) NumSATVars() int { return s.sat.NumVars() }
+
+// NumSATClauses exposes the problem-clause count of the SAT instance.
+func (s *Solver) NumSATClauses() int { return s.sat.NumClauses() }
