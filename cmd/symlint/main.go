@@ -1,0 +1,101 @@
+// Command symlint runs the repo's static invariant checkers (see
+// internal/analysis) over the module:
+//
+//	go run ./cmd/symlint ./...          # all analyzers, whole module
+//	go run ./cmd/symlint -run determinism ./internal/core
+//	go run ./cmd/symlint -list
+//
+// It exits non-zero when any diagnostic survives the //symlint:allow
+// directives, so CI can gate on it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"symriscv/internal/analysis"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "symlint:", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("symlint", flag.ExitOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	runNames := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: symlint [-list] [-run names] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return nil
+	}
+
+	var names []string
+	if *runNames != "" {
+		names = strings.Split(*runNames, ",")
+	}
+	analyzers := analysis.ByName(names)
+	if len(analyzers) == 0 {
+		return fmt.Errorf("no analyzer matches -run=%s", *runNames)
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		return err
+	}
+	loader := analysis.NewLoader()
+	pkgs, err := loader.LoadModule(root, fs.Args())
+	if err != nil {
+		return err
+	}
+
+	failed := false
+	for _, pkg := range pkgs {
+		diags, err := analysis.Run(pkg, analyzers)
+		if err != nil {
+			return err
+		}
+		for _, d := range diags {
+			fmt.Println(d)
+			failed = true
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+	return nil
+}
+
+// moduleRoot walks upward from the working directory to the enclosing
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

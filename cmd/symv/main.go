@@ -24,6 +24,7 @@ import (
 
 	"symriscv/internal/core"
 	"symriscv/internal/cosim"
+	"symriscv/internal/decodecheck"
 	"symriscv/internal/faults"
 	"symriscv/internal/harness"
 	"symriscv/internal/iss"
@@ -51,6 +52,8 @@ func main() {
 		err = cmdBaseline(os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
+	case "lint-table":
+		err = cmdLintTable(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -74,7 +77,8 @@ commands:
   longrun   budgeted comprehensive exploration statistics
   ablation  sliced-register or instruction-limit ablation
   baseline  compare symbolic execution against fuzzing baselines
-  replay    re-execute a test vector (name=hexvalue pairs) against a fault`)
+  replay    re-execute a test vector (name=hexvalue pairs) against a fault
+  lint-table  statically verify the decode table (clean + all fault configs)`)
 }
 
 func cmdTable1(args []string) error {
@@ -391,4 +395,33 @@ func sortedKeys(m map[string]uint64) []string {
 		}
 	}
 	return keys
+}
+
+// cmdLintTable statically verifies the MicroRV32 decode table for the clean
+// configuration and every single-fault configuration E0–E9, both with and
+// without the M extension. It exits non-zero on any overlap, gap, malformed
+// row, or unexplained deviation; the E0–E2 mask widenings appear as
+// intentional deviations in the output.
+func cmdLintTable(args []string) error {
+	fs := flag.NewFlagSet("lint-table", flag.ExitOnError)
+	verbose := fs.Bool("v", false, "print the full report for every configuration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fail := 0
+	for _, rep := range decodecheck.CheckAll() {
+		if *verbose || !rep.OK() || len(rep.Deviation) > 0 {
+			fmt.Print(rep.Format())
+		} else {
+			fmt.Printf("decode-table check [%s]: OK (%d rows, %d words cross-checked)\n",
+				rep.Config, rep.Rows, rep.Checked)
+		}
+		if !rep.OK() {
+			fail++
+		}
+	}
+	if fail > 0 {
+		return fmt.Errorf("lint-table: %d configuration(s) failed", fail)
+	}
+	return nil
 }

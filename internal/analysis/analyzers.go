@@ -1,0 +1,27 @@
+package analysis
+
+// All returns every symlint analyzer in a fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		CheckedErr,
+		ClauseImmut,
+		Determinism,
+		HashCons,
+	}
+}
+
+// ByName resolves a comma-separated analyzer name list; nil selects all.
+func ByName(names []string) []*Analyzer {
+	if len(names) == 0 {
+		return All()
+	}
+	var out []*Analyzer
+	for _, n := range names {
+		for _, a := range All() {
+			if a.Name == n {
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CheckedErr reports call statements that silently discard an error
+// returned by one of this module's own APIs. The solver and engine report
+// resource exhaustion and malformed input through error returns; dropping
+// one on the floor turns a solver abort into a bogus "verified" verdict.
+// An explicit `_ = f()` assignment is the sanctioned way to discard an
+// error deliberately (it survives review; a bare call does not).
+var CheckedErr = &Analyzer{
+	Name: "checkederr",
+	Doc: "forbid discarding errors returned by symriscv APIs " +
+		"(a dropped solver error becomes a bogus verification verdict)",
+	Run: runCheckedErr,
+}
+
+func runCheckedErr(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := ast.Unparen(stmt.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil || !strings.HasPrefix(fn.Pkg().Path(), "symriscv/") {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Results().Len() == 0 {
+				return true
+			}
+			last := sig.Results().At(sig.Results().Len() - 1).Type()
+			if !isErrorType(last) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"result of %s.%s discarded: the error return must be checked (or explicitly dropped with `_ =`)",
+				fn.Pkg().Name(), fn.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() == nil && obj.Name() == "error"
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+const smtPkgPath = "symriscv/internal/smt"
+
+// HashCons reports construction or mutation of smt.Term values outside
+// internal/smt. Terms are hash-consed per Context: the engine's branch
+// cache, the bit-blaster's memo tables and the voter's fast path all treat
+// pointer equality as semantic equality. A term built with a composite
+// literal or new(), or overwritten through its pointer, is not interned
+// and silently breaks that contract.
+var HashCons = &Analyzer{
+	Name: "hashcons",
+	Doc: "forbid smt.Term construction/mutation outside internal/smt " +
+		"(pointer equality must imply semantic equality for the voter's fast path)",
+	Run: runHashCons,
+}
+
+func runHashCons(pass *Pass) error {
+	if isPkgUnder(pass.PkgPath, smtPkgPath) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CompositeLit:
+				if isSMTTerm(pass.TypeOf(n)) {
+					pass.Reportf(n.Pos(),
+						"composite literal of smt.Term outside %s: terms must be built through a Context (hash-consing) so pointer equality implies semantic equality",
+						smtPkgPath)
+				}
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "new" && len(n.Args) == 1 {
+					if _, isBuiltin := pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+						if isSMTTerm(pass.TypeOf(n.Args[0])) {
+							pass.Reportf(n.Pos(),
+								"new(smt.Term) outside %s: terms must be built through a Context (hash-consing)",
+								smtPkgPath)
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if star, ok := ast.Unparen(lhs).(*ast.StarExpr); ok {
+						if pt, ok := pass.TypeOf(star.X).(*types.Pointer); ok && isSMTTerm(pt.Elem()) {
+							pass.Reportf(lhs.Pos(),
+								"assignment through *smt.Term outside %s: interned terms are immutable; build a new term via the Context instead",
+								smtPkgPath)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isSMTTerm reports whether t is the named struct type smt.Term. The type
+// is matched by package path and name rather than identity so the check
+// also works on fixture packages that import the real smt package.
+func isSMTTerm(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Name() == "Term" &&
+		obj.Pkg() != nil && obj.Pkg().Path() == smtPkgPath
+}
+
+// isPkgUnder reports whether path is pkg or a subpackage of pkg.
+func isPkgUnder(path, pkg string) bool {
+	return path == pkg || strings.HasPrefix(path, pkg+"/")
+}

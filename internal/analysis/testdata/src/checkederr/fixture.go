@@ -1,0 +1,23 @@
+// Package fixture exercises the checkederr analyzer: error returns of
+// symriscv APIs must be checked or explicitly dropped.
+package fixture
+
+import (
+	"io"
+
+	"symriscv/internal/smtlib"
+)
+
+func dropped(in *smtlib.Interp) {
+	in.Run("(exit)") // want `result of smtlib\.Run discarded`
+}
+
+// checked propagates the error: allowed.
+func checked(in *smtlib.Interp) error {
+	return in.Run("(exit)")
+}
+
+// explicitDiscard documents intent with a blank assignment: allowed.
+func explicitDiscard() {
+	_ = smtlib.NewInterp(io.Discard).Run("(exit)")
+}

@@ -1,0 +1,61 @@
+// Package fixture exercises the determinism analyzer. It is loaded under a
+// deterministic-kernel import path by the test harness; the go tool never
+// builds it (testdata).
+package fixture
+
+import (
+	"math/rand" // want `import of math/rand in deterministic package`
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `call to time\.Now in deterministic package`
+}
+
+func sleepy(d time.Duration) {
+	time.Sleep(d) // want `call to time\.Sleep in deterministic package`
+}
+
+func launch() int {
+	go func() {}() // want `goroutine launch in deterministic package`
+	return rand.Int()
+}
+
+func collectKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `iteration over map with order-dependent effect`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func pickAny(m map[string]int) string {
+	for k := range m { // want `iteration over map with order-dependent effect`
+		return k
+	}
+	return ""
+}
+
+// countEntries is order-insensitive map iteration: allowed.
+func countEntries(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// invert writes into another map: order-insensitive, allowed (names are
+// assumed unique by the caller).
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// durations only does time-value arithmetic: allowed.
+func durations(d time.Duration) time.Duration {
+	return d.Round(time.Millisecond) + time.Second
+}

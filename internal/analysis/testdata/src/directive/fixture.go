@@ -1,0 +1,23 @@
+// Package fixture exercises //symlint:allow directive handling; the test
+// asserts diagnostic counts programmatically (a malformed directive and a
+// want comment cannot share a line).
+package fixture
+
+import "time"
+
+// justified: the directive carries a reason, so the determinism diagnostic
+// on this line is suppressed.
+func justified() time.Time {
+	return time.Now() //symlint:allow determinism -- fixture: testing justified suppression
+}
+
+// unjustified: no "-- reason", so the directive itself is reported and the
+// determinism diagnostic still fires.
+func unjustified() time.Time {
+	return time.Now() //symlint:allow determinism
+}
+
+// uncovered: no directive at all.
+func uncovered(start time.Time) time.Duration {
+	return time.Since(start)
+}

@@ -1,0 +1,28 @@
+// Package fixture exercises the hashcons analyzer: raw smt.Term
+// construction outside internal/smt breaks the voter's pointer-equality
+// fast path.
+package fixture
+
+import "symriscv/internal/smt"
+
+func rawLiteral() smt.Term {
+	return smt.Term{} // want `composite literal of smt\.Term`
+}
+
+func rawAlloc() *smt.Term {
+	return new(smt.Term) // want `new\(smt\.Term\)`
+}
+
+func mutate(p *smt.Term, v smt.Term) {
+	*p = v // want `assignment through \*smt\.Term`
+}
+
+// viaContext builds terms the sanctioned way: allowed.
+func viaContext(ctx *smt.Context) *smt.Term {
+	return ctx.Add(ctx.BV(32, 1), ctx.BV(32, 2))
+}
+
+// pointers may be copied and compared freely; only the pointee is immutable.
+func compare(a, b *smt.Term) bool {
+	return a == b
+}

@@ -3,12 +3,38 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"time"
 
 	"symriscv/internal/smt"
 	"symriscv/internal/solver"
 )
+
+// wallNow is the single wall-clock read of the deterministic kernel, used
+// only for the MaxTime budget and the Elapsed statistic. Budget expiry
+// changes how many paths are explored, never any decision inside a path,
+// so replay determinism is preserved.
+func wallNow() time.Time {
+	return time.Now() //symlint:allow determinism -- budget/telemetry only; never feeds terms or branch decisions
+}
+
+// pathRNG is a splitmix64 PRNG for the random-path searcher. A local
+// generator keeps math/rand out of the deterministic kernel and, unlike
+// math/rand's default source, has output that is stable across Go
+// releases, so a recorded exploration replays identically forever.
+type pathRNG struct{ state uint64 }
+
+func (r *pathRNG) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// intn returns a uniform value in [0, n) for n > 0.
+func (r *pathRNG) intn(n int) int {
+	return int(r.next() % uint64(n))
+}
 
 // SearchStrategy selects the order in which scheduled paths are explored.
 type SearchStrategy uint8
@@ -140,12 +166,12 @@ func (x *Explorer) Context() *smt.Context { return x.ctx }
 // Explore runs the program over the whole feasible path tree, subject to the
 // option budgets.
 func (x *Explorer) Explore(opts Options) *Report {
-	start := time.Now()
+	start := wallNow()
 	x.sol.SetConflictBudget(opts.SolverConflictBudget)
 
 	rep := &Report{}
 	frontier := [][]event{nil} // the root path: empty prefix
-	rng := rand.New(rand.NewSource(opts.Seed))
+	rng := &pathRNG{state: uint64(opts.Seed)}
 	progressEvery := opts.ProgressEvery
 	if progressEvery <= 0 {
 		progressEvery = 256
@@ -158,7 +184,7 @@ func (x *Explorer) Explore(opts Options) *Report {
 			frontier = frontier[1:]
 			return p
 		case SearchRandom:
-			i := rng.Intn(len(frontier))
+			i := rng.intn(len(frontier))
 			p := frontier[i]
 			frontier[i] = frontier[len(frontier)-1]
 			frontier = frontier[:len(frontier)-1]
@@ -174,7 +200,7 @@ func (x *Explorer) Explore(opts Options) *Report {
 		if opts.MaxPaths > 0 && rep.Stats.Paths >= opts.MaxPaths {
 			break
 		}
-		if opts.MaxTime > 0 && time.Since(start) >= opts.MaxTime {
+		if opts.MaxTime > 0 && wallNow().Sub(start) >= opts.MaxTime {
 			break
 		}
 		if opts.MaxInstructions > 0 && rep.Stats.Instructions >= opts.MaxInstructions {
@@ -186,7 +212,7 @@ func (x *Explorer) Explore(opts Options) *Report {
 		rep.Stats.Paths++
 		if opts.Progress != nil && rep.Stats.Paths%progressEvery == 0 {
 			snap := rep.Stats
-			snap.Elapsed = time.Since(start)
+			snap.Elapsed = wallNow().Sub(start)
 			opts.Progress(snap)
 		}
 
@@ -205,7 +231,7 @@ func (x *Explorer) Explore(opts Options) *Report {
 			rep.Stats.Partial++
 		case errors.Is(err, ErrStopExploration):
 			rep.Stats.Completed++
-			rep.Stats.Elapsed = time.Since(start)
+			rep.Stats.Elapsed = wallNow().Sub(start)
 			x.fillSizes(rep)
 			return rep
 		case err != nil:
@@ -218,7 +244,7 @@ func (x *Explorer) Explore(opts Options) *Report {
 			}
 			rep.Findings = append(rep.Findings, f)
 			if opts.StopOnFirstFinding {
-				rep.Stats.Elapsed = time.Since(start)
+				rep.Stats.Elapsed = wallNow().Sub(start)
 				x.fillSizes(rep)
 				return rep
 			}
@@ -250,7 +276,7 @@ func (x *Explorer) Explore(opts Options) *Report {
 	}
 
 	rep.Exhausted = len(frontier) == 0
-	rep.Stats.Elapsed = time.Since(start)
+	rep.Stats.Elapsed = wallNow().Sub(start)
 	x.fillSizes(rep)
 	return rep
 }

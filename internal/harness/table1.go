@@ -148,7 +148,14 @@ func RunTable1(opt Table1Options) *Table1Result {
 	}
 
 	sort.SliceStable(res.Rows, func(i, j int) bool {
-		return rowRank(res.Rows[i].Class) < rowRank(res.Rows[j].Class)
+		ri, rj := rowRank(res.Rows[i].Class), rowRank(res.Rows[j].Class)
+		if ri != rj {
+			return ri < rj
+		}
+		// Rows beyond the paper's catalogue all share the sentinel rank;
+		// order them by class key so the table does not depend on probe
+		// discovery order.
+		return res.Rows[i].Class.Key() < res.Rows[j].Class.Key()
 	})
 	res.Elapsed = time.Since(start)
 	return res

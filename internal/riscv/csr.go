@@ -83,12 +83,21 @@ func CSRName(addr uint16) string {
 	return fmt.Sprintf("0x%03x", addr)
 }
 
+// csrAddrs is the reverse of csrNames; a precomputed map keeps the lookup
+// independent of map iteration order (the names are unique, so the reverse
+// mapping is well defined).
+var csrAddrs = func() map[string]uint16 {
+	rev := make(map[string]uint16, len(csrNames))
+	for addr, n := range csrNames {
+		rev[n] = addr
+	}
+	return rev
+}()
+
 // CSRByName resolves an architectural CSR name to its address.
 func CSRByName(name string) (uint16, bool) {
-	for addr, n := range csrNames {
-		if n == name {
-			return addr, true
-		}
+	if addr, ok := csrAddrs[name]; ok {
+		return addr, true
 	}
 	var idx int
 	if _, err := fmt.Sscanf(name, "mhpmcounter%dh", &idx); err == nil && name == fmt.Sprintf("mhpmcounter%dh", idx) {

@@ -98,8 +98,11 @@ type Interp struct {
 	ctx  *smt.Context
 	sol  *solver.Solver
 	vars map[string]*smt.Term
-	lets []map[string]*smt.Term // let-binding scopes, innermost last
-	out  io.Writer
+	// declared lists the var names in declaration order, so get-model never
+	// depends on map iteration order.
+	declared []string
+	lets     []map[string]*smt.Term // let-binding scopes, innermost last
+	out      io.Writer
 
 	// Assertion stack for push/pop. The underlying solver's asserts are
 	// permanent, so pop rebuilds a fresh solver from the surviving levels.
@@ -210,10 +213,7 @@ func (in *Interp) exec(cmd *sexp) (stop bool, err error) {
 		if !in.checked || in.lastResult != solver.Sat {
 			return false, fmt.Errorf("smtlib: get-model without a sat answer")
 		}
-		names := make([]string, 0, len(in.vars))
-		for n := range in.vars {
-			names = append(names, n)
-		}
+		names := append([]string(nil), in.declared...)
 		sort.Strings(names)
 		fmt.Fprintln(in.out, "(")
 		for _, n := range names {
@@ -273,9 +273,10 @@ func (in *Interp) declare(name, sortExp *sexp) error {
 		// Model Booleans as 1-bit vectors compared against 1.
 		v := in.ctx.Var("bool!"+name.Atom, 1)
 		in.vars[name.Atom] = in.ctx.Eq(v, in.ctx.BV(1, 1))
-		return nil
+	} else {
+		in.vars[name.Atom] = in.ctx.Var(name.Atom, w)
 	}
-	in.vars[name.Atom] = in.ctx.Var(name.Atom, w)
+	in.declared = append(in.declared, name.Atom)
 	return nil
 }
 
