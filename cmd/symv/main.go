@@ -4,11 +4,16 @@
 //
 // Usage:
 //
-//	symv table1  [-probe-time 60s] [-max-paths 5000]
-//	symv table2  [-cell-time 60s] [-limits 1,2] [-faults E0,E3]
-//	symv hunt    [-fault E6] [-limit 1] [-shipped] [-regs 2] [-time 60s]
-//	symv longrun [-budget 30s] [-limit 1] [-regs 2]
-//	symv ablation [-kind regs|limit] [-budget 30s]
+//	symv table1  [-probe-time 60s] [-max-paths 5000] [-workers N]
+//	symv table2  [-cell-time 60s] [-limits 1,2] [-faults E0,E3] [-workers N]
+//	symv hunt    [-fault E6] [-limit 1] [-shipped] [-regs 2] [-time 60s] [-workers N]
+//	symv longrun [-budget 30s] [-limit 1] [-regs 2] [-workers N]
+//	symv ablation [-kind regs|limit] [-budget 30s] [-workers N]
+//	symv bench   [-budget 10s] [-workers N] [-json BENCH_explore.json] [-quick]
+//
+// -workers N shards each exploration's path tree across N solver contexts
+// (default GOMAXPROCS); results are identical to -workers 1 by construction
+// (see internal/parexplore).
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -48,6 +54,8 @@ func main() {
 		err = cmdLongRun(os.Args[2:])
 	case "ablation":
 		err = cmdAblation(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	case "baseline":
 		err = cmdBaseline(os.Args[2:])
 	case "replay":
@@ -76,6 +84,7 @@ commands:
   hunt      hunt one injected fault (or the shipped bugs)
   longrun   budgeted comprehensive exploration statistics
   ablation  sliced-register or instruction-limit ablation
+  bench     exploration throughput and time-to-bug at workers=1 vs N
   baseline  compare symbolic execution against fuzzing baselines
   replay    re-execute a test vector (name=hexvalue pairs) against a fault
   lint-table  statically verify the decode table (clean + all fault configs)`)
@@ -86,11 +95,13 @@ func cmdTable1(args []string) error {
 	probeTime := fs.Duration("probe-time", 60*time.Second, "exploration budget per probe scenario")
 	maxPaths := fs.Int("max-paths", 5000, "path budget per probe scenario")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of the table")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 
 	res := harness.RunTable1(harness.Table1Options{
 		PerProbeTime:     *probeTime,
 		PerProbeMaxPaths: *maxPaths,
+		Workers:          *workers,
 	})
 	if *jsonOut {
 		return json.NewEncoder(os.Stdout).Encode(res)
@@ -108,6 +119,7 @@ func cmdTable2(args []string) error {
 	parallel := fs.Int("parallel", 1, "concurrent cells (each with its own solver)")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of the table")
 	dutArg := fs.String("dut", "microrv32", "device under test: microrv32 | pipeline")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 
 	var dut harness.DUTKind
@@ -136,6 +148,7 @@ func cmdTable2(args []string) error {
 		Limits:      limits,
 		Faults:      fset,
 		Parallel:    *parallel,
+		Workers:     *workers,
 		DUT:         dut,
 	})
 	if *jsonOut {
@@ -159,6 +172,7 @@ func cmdHunt(args []string) error {
 	progress := fs.Bool("progress", false, "print live exploration statistics")
 	irq := fs.Bool("interrupts", false, "drive a symbolic external-interrupt line")
 	irqBug := fs.Bool("mie-bug", false, "inject the missing-MIE-gate interrupt fault")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 
 	strategy, err := parseSearch(*search)
@@ -196,7 +210,6 @@ func cmdHunt(args []string) error {
 	if cfg.SymbolicInterrupts {
 		cfg.StartPC = 0x100
 	}
-	x := core.NewExplorer(cosim.RunFunc(cfg))
 	opts := core.Options{
 		StopOnFirstFinding: !*all,
 		MaxTime:            *budget,
@@ -206,7 +219,7 @@ func cmdHunt(args []string) error {
 	if *progress {
 		opts.Progress = func(s core.Stats) { fmt.Fprintf(os.Stderr, "  ... %v\n", s) }
 	}
-	rep := x.Explore(opts)
+	rep := harness.Explore(cosim.RunFunc(cfg), opts, *workers)
 
 	fmt.Printf("exploration: %v (exhausted=%v)\n", rep.Stats, rep.Exhausted)
 	if len(rep.Findings) == 0 {
@@ -231,9 +244,10 @@ func cmdLongRun(args []string) error {
 	limit := fs.Int("limit", 1, "instruction limit")
 	regs := fs.Int("regs", 2, "symbolic register slice size")
 	coverage := fs.Bool("coverage", false, "print test-set instruction coverage")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 
-	res := harness.RunLongRun(*budget, *limit, *regs)
+	res := harness.RunLongRun(*budget, *limit, *regs, *workers)
 	fmt.Print(res.Format())
 	if *coverage {
 		cov := harness.Coverage(harness.TestSetInputs(res.Report))
@@ -246,14 +260,15 @@ func cmdAblation(args []string) error {
 	fs := flag.NewFlagSet("ablation", flag.ExitOnError)
 	kind := fs.String("kind", "regs", "ablation kind: regs | limit")
 	budget := fs.Duration("budget", 15*time.Second, "budget per configuration point")
+	workers := workersFlag(fs)
 	fs.Parse(args)
 
 	switch *kind {
 	case "regs":
-		res := harness.RunRegSliceAblation(nil, *budget, 0)
+		res := harness.RunRegSliceAblation(nil, *budget, 0, *workers)
 		fmt.Print(res.Format())
 	case "limit":
-		pts := harness.RunLimitAblation([]int{1, 2}, *budget, 0)
+		pts := harness.RunLimitAblation([]int{1, 2}, *budget, 0, *workers)
 		fmt.Print(harness.FormatLimitAblation(pts))
 	default:
 		return fmt.Errorf("unknown ablation kind %q", *kind)
@@ -338,6 +353,64 @@ func cmdReplay(args []string) error {
 		return nil
 	}
 	fmt.Printf("reproduced: %v\n", m)
+	return nil
+}
+
+// workersFlag registers the shared -workers flag: how many solver contexts
+// each exploration is sharded across (1 = the sequential explorer).
+func workersFlag(fs *flag.FlagSet) *int {
+	return fs.Int("workers", runtime.GOMAXPROCS(0),
+		"parallel exploration workers per exploration (1 = sequential; results are worker-count independent)")
+}
+
+func cmdBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	budget := fs.Duration("budget", 10*time.Second, "throughput budget per worker count")
+	huntTime := fs.Duration("hunt-time", 30*time.Second, "time-to-bug budget per fault")
+	faultsArg := fs.String("faults", "", "comma-separated time-to-bug faults (default E1,E5,E6)")
+	jsonPath := fs.String("json", "", "also write the machine-readable report to this file")
+	quick := fs.Bool("quick", false, "CI smoke mode: 2s budgets, one fault")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
+		"parallel worker count compared against workers=1 (floored at 2)")
+	fs.Parse(args)
+
+	opt := harness.BenchOptions{
+		Workers:  *workers,
+		Budget:   *budget,
+		HuntTime: *huntTime,
+	}
+	if *faultsArg != "" {
+		fset, err := parseFaults(*faultsArg)
+		if err != nil {
+			return err
+		}
+		opt.Faults = fset
+	}
+	if *quick {
+		opt.Budget = 2 * time.Second
+		opt.HuntTime = 5 * time.Second
+		if opt.Faults == nil {
+			opt.Faults = []faults.Fault{faults.E6}
+		}
+	}
+	res := harness.RunBench(opt)
+	fmt.Print(res.Format())
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
 	return nil
 }
 

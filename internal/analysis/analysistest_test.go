@@ -110,6 +110,26 @@ func TestDeterminismOutOfScope(t *testing.T) {
 	}
 }
 
+// TestDeterminismParexploreExempt pins the parallel orchestrator's standing
+// exemption: internal/parexplore launches worker goroutines by design (each
+// owns a private solver context), so it must stay outside the determinism
+// analyzer's scope. Its determinism story is the canonical Sig-ordered merge
+// (see internal/parexplore), not goroutine freedom — the analyzer keeps
+// guarding the kernel packages the workers are built from instead.
+func TestDeterminismParexploreExempt(t *testing.T) {
+	pkg, err := NewLoader().LoadDir(filepath.Join("testdata", "src", "determinism"), "symriscv/internal/parexplore/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, []*Analyzer{Determinism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("determinism fired inside internal/parexplore, which must stay exempt: %v", diags)
+	}
+}
+
 func TestHashConsFixture(t *testing.T) {
 	runFixture(t, "hashcons", "symriscv/internal/cosim/fixture", HashCons)
 }

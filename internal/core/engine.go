@@ -66,7 +66,10 @@ const (
 	evConcretize
 )
 
-// event is one recorded engine interaction on a path.
+// event is one recorded engine interaction on a path. The cond/term fields
+// are replay sanity checks only; they are nil in prefixes imported from
+// another exploration context (parallel subtree hand-off), where program
+// determinism is trusted instead of pointer-checked.
 type event struct {
 	kind eventKind
 	dir  bool      // branch direction taken
@@ -91,7 +94,8 @@ type Engine struct {
 	sol *solver.Solver
 
 	prefix []event // events to replay; the last one is the flipped branch
-	events []event // events of this run (replayed + fresh)
+	n      int     // events seen so far on this run (replayed + fresh)
+	fresh  []event // events recorded beyond the prefix (fresh decisions only)
 	pcs    []*smt.Term
 	pcsSet map[*smt.Term]struct{} // interned members of pcs, for implication shortcuts
 
@@ -185,14 +189,16 @@ func (e *Engine) Branch(cond *smt.Term) bool {
 		}
 	}
 
-	idx := len(e.events)
+	idx := e.n
 	if idx < len(e.prefix) {
-		// Replay.
+		// Replay. Imported prefixes carry no cond (built in another term
+		// context); program determinism guarantees the rebuilt condition is
+		// the same decision, so only same-context prefixes are pointer-checked.
 		ev := e.prefix[idx]
-		if ev.kind != evBranch || ev.cond != cond {
+		if ev.kind != evBranch || (ev.cond != nil && ev.cond != cond) {
 			panic(fmt.Sprintf("core: replay divergence at event %d: program is not deterministic (have %v)", idx, ev.kind))
 		}
-		e.events = append(e.events, ev)
+		e.n++
 		e.addPC(polarise(e.ctx, cond, ev.dir))
 		if idx == len(e.prefix)-1 && !ev.sibVerified {
 			// This is the freshly flipped decision and its feasibility could
@@ -224,12 +230,14 @@ func (e *Engine) Branch(cond *smt.Term) bool {
 				ev.sibVerified = true
 			}
 		}
-		e.events = append(e.events, ev)
+		e.fresh = append(e.fresh, ev)
+		e.n++
 		e.addPC(cond)
 		return true
 	case solver.Unsat:
 		// pcs are satisfiable and pcs∧cond is not, so pcs∧¬cond is.
-		e.events = append(e.events, event{kind: evBranch, dir: false, cond: cond, noSibling: true})
+		e.fresh = append(e.fresh, event{kind: evBranch, dir: false, cond: cond, noSibling: true})
+		e.n++
 		e.addPC(e.ctx.BNot(cond))
 		return false
 	default:
@@ -251,13 +259,13 @@ func (e *Engine) Concretize(t *smt.Term) uint64 {
 		return t.ConstVal()
 	}
 
-	idx := len(e.events)
+	idx := e.n
 	if idx < len(e.prefix) {
 		ev := e.prefix[idx]
-		if ev.kind != evConcretize || ev.term != t {
+		if ev.kind != evConcretize || (ev.term != nil && ev.term != t) {
 			panic(fmt.Sprintf("core: replay divergence at event %d: expected concretization", idx))
 		}
-		e.events = append(e.events, ev)
+		e.n++
 		e.addPC(e.ctx.Eq(t, e.ctx.BV(t.Width(), ev.val)))
 		return ev.val
 	}
@@ -271,7 +279,8 @@ func (e *Engine) Concretize(t *smt.Term) uint64 {
 		panic(abortError{AbortUnknown, "concretize: solver budget exhausted"})
 	}
 	v := e.sol.ModelValue(t)
-	e.events = append(e.events, event{kind: evConcretize, val: v, term: t})
+	e.fresh = append(e.fresh, event{kind: evConcretize, val: v, term: t})
+	e.n++
 	e.addPC(e.ctx.Eq(t, e.ctx.BV(t.Width(), v)))
 	return v
 }
@@ -299,13 +308,15 @@ func (e *Engine) FindWitness(cond *smt.Term) (smt.MapEnv, bool) {
 	return nil, false
 }
 
-// PathModel returns a model of the current path constraints, used to turn a
-// completed path into a concrete test vector.
+// PathModel returns a model of the current path's symbolic inputs, used to
+// turn a completed path into a concrete test vector. The model is restricted
+// to the inputs registered via MakeSymbolic — O(symbolic inputs) rather than
+// O(every variable the context ever interned).
 func (e *Engine) PathModel() (smt.MapEnv, bool) {
 	if e.check(e.pcs...) != solver.Sat {
 		return nil, false
 	}
-	return e.sol.Model(), true
+	return e.sol.ModelFor(e.symbolic), true
 }
 
 // CountInstruction records n retired instructions (for the experiment

@@ -170,33 +170,15 @@ func (x *Explorer) Explore(opts Options) *Report {
 	x.sol.SetConflictBudget(opts.SolverConflictBudget)
 
 	rep := &Report{}
-	frontier := [][]event{nil} // the root path: empty prefix
+	wk := &walker{}
+	wk.addRoot()
 	rng := &pathRNG{state: uint64(opts.Seed)}
 	progressEvery := opts.ProgressEvery
 	if progressEvery <= 0 {
 		progressEvery = 256
 	}
 
-	pop := func() []event {
-		switch opts.Search {
-		case SearchBFS:
-			p := frontier[0]
-			frontier = frontier[1:]
-			return p
-		case SearchRandom:
-			i := rng.intn(len(frontier))
-			p := frontier[i]
-			frontier[i] = frontier[len(frontier)-1]
-			frontier = frontier[:len(frontier)-1]
-			return p
-		default:
-			p := frontier[len(frontier)-1]
-			frontier = frontier[:len(frontier)-1]
-			return p
-		}
-	}
-
-	for len(frontier) > 0 {
+	for wk.pending() > 0 {
 		if opts.MaxPaths > 0 && rep.Stats.Paths >= opts.MaxPaths {
 			break
 		}
@@ -207,7 +189,7 @@ func (x *Explorer) Explore(opts Options) *Report {
 			break
 		}
 
-		prefix := pop()
+		n := wk.pop(opts.Search, rng)
 		pathID := rep.Stats.Paths
 		rep.Stats.Paths++
 		if opts.Progress != nil && rep.Stats.Paths%progressEvery == 0 {
@@ -216,9 +198,9 @@ func (x *Explorer) Explore(opts Options) *Report {
 			opts.Progress(snap)
 		}
 
-		eng := newEngine(x.ctx, x.sol, prefix, &rep.Stats)
+		eng := newEngine(x.ctx, x.sol, wk.materialize(n), &rep.Stats)
 		eng.noOpt = opts.NoBranchOptimizations
-		err, abort := x.runOne(eng)
+		err, abort := runOne(x.run, eng)
 
 		rep.Stats.Instructions += eng.instrRetired
 		rep.Stats.Cycles += eng.cycles
@@ -261,21 +243,10 @@ func (x *Explorer) Explore(opts Options) *Report {
 		}
 
 		// Schedule the unexplored sibling of every fresh branch decision.
-		for i := len(prefix); i < len(eng.events); i++ {
-			ev := eng.events[i]
-			if ev.kind != evBranch || ev.noSibling {
-				continue
-			}
-			sibling := make([]event, i+1)
-			copy(sibling, eng.events[:i])
-			flipped := ev
-			flipped.dir = !ev.dir
-			sibling[i] = flipped
-			frontier = append(frontier, sibling)
-		}
+		wk.schedule(n, eng.fresh)
 	}
 
-	rep.Exhausted = len(frontier) == 0
+	rep.Exhausted = wk.pending() == 0
 	rep.Stats.Elapsed = wallNow().Sub(start)
 	x.fillSizes(rep)
 	return rep
@@ -287,7 +258,7 @@ func (x *Explorer) fillSizes(rep *Report) {
 }
 
 // runOne executes one path, converting abort panics into a structured result.
-func (x *Explorer) runOne(eng *Engine) (err error, abort *abortError) {
+func runOne(run RunFunc, eng *Engine) (err error, abort *abortError) {
 	defer func() {
 		if r := recover(); r != nil {
 			if a, ok := r.(abortError); ok {
@@ -297,7 +268,7 @@ func (x *Explorer) runOne(eng *Engine) (err error, abort *abortError) {
 			panic(r)
 		}
 	}()
-	return x.run(eng), nil
+	return run(eng), nil
 }
 
 func filterInputs(m smt.MapEnv, inputs []*smt.Term) smt.MapEnv {

@@ -34,8 +34,9 @@ type AblationResult struct {
 
 // RunRegSliceAblation measures exploration cost as a function of the
 // symbolic-register slice size on a fixed scenario (the OP-IMM class at
-// instruction limit 1), plus the time to find an injected E6 bug.
-func RunRegSliceAblation(regCounts []int, perPointBudget time.Duration, maxPaths int) *AblationResult {
+// instruction limit 1), plus the time to find an injected E6 bug. Workers > 1
+// shards each point's exploration (see internal/parexplore).
+func RunRegSliceAblation(regCounts []int, perPointBudget time.Duration, maxPaths, workers int) *AblationResult {
 	if regCounts == nil {
 		regCounts = []int{2, 4, 8, 16, 31}
 	}
@@ -58,8 +59,7 @@ func RunRegSliceAblation(regCounts []int, perPointBudget time.Duration, maxPaths
 			NumSymbolicRegs: n,
 			InstrLimit:      1,
 		}
-		x := core.NewExplorer(cosim.RunFunc(cfg))
-		rep := x.Explore(core.Options{MaxTime: perPointBudget, MaxPaths: maxPaths})
+		rep := Explore(cosim.RunFunc(cfg), core.Options{MaxTime: perPointBudget, MaxPaths: maxPaths}, workers)
 		pt.Paths = rep.Stats.Paths
 		pt.Instr = rep.Stats.Instructions
 		pt.Time = rep.Stats.Elapsed
@@ -75,9 +75,8 @@ func RunRegSliceAblation(regCounts []int, perPointBudget time.Duration, maxPaths
 			NumSymbolicRegs: n,
 			InstrLimit:      1,
 		}
-		hx := core.NewExplorer(cosim.RunFunc(hunt))
 		t0 := time.Now()
-		hrep := hx.Explore(core.Options{StopOnFirstFinding: true, MaxTime: perPointBudget})
+		hrep := Explore(cosim.RunFunc(hunt), core.Options{StopOnFirstFinding: true, MaxTime: perPointBudget}, workers)
 		pt.FoundE6 = len(hrep.Findings) > 0
 		pt.FoundE6In = time.Since(t0)
 
@@ -115,7 +114,7 @@ type LimitAblationPoint struct {
 // RunLimitAblation quantifies the state-space growth from instruction limit
 // 1 to higher limits on the matched baseline (Table II discussion: "the
 // instruction limit should be set as low as possible").
-func RunLimitAblation(limits []int, perPointBudget time.Duration, maxPaths int) []LimitAblationPoint {
+func RunLimitAblation(limits []int, perPointBudget time.Duration, maxPaths, workers int) []LimitAblationPoint {
 	if limits == nil {
 		limits = []int{1, 2}
 	}
@@ -133,8 +132,7 @@ func RunLimitAblation(limits []int, perPointBudget time.Duration, maxPaths int) 
 			Filter:     cosim.Filters(cosim.BlockSystemInstructions, cosim.OnlyOpcode(riscv.OpReg)),
 			InstrLimit: l,
 		}
-		x := core.NewExplorer(cosim.RunFunc(cfg))
-		rep := x.Explore(core.Options{MaxTime: perPointBudget, MaxPaths: maxPaths})
+		rep := Explore(cosim.RunFunc(cfg), core.Options{MaxTime: perPointBudget, MaxPaths: maxPaths}, workers)
 		out = append(out, LimitAblationPoint{
 			Limit:     l,
 			Paths:     rep.Stats.Paths,

@@ -1,0 +1,198 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"symriscv/internal/core"
+	"symriscv/internal/cosim"
+	"symriscv/internal/faults"
+	"symriscv/internal/iss"
+	"symriscv/internal/microrv32"
+)
+
+// BenchOptions configure the exploration benchmark (symv bench).
+type BenchOptions struct {
+	// Workers is the parallel column compared against workers=1; defaults
+	// to GOMAXPROCS, floored at 2 so the sharded orchestrator is always
+	// exercised even on a single-core host.
+	Workers int
+	// Budget bounds each throughput measurement (default 10s).
+	Budget time.Duration
+	// HuntTime bounds each per-fault time-to-bug measurement (default 30s).
+	HuntTime time.Duration
+	// Faults are the time-to-bug targets (default E1, E5, E6 — a cheap, a
+	// mid-cost and an expensive bug per Table II).
+	Faults []faults.Fault
+	// InstrLimit / NumRegs fix the throughput workload (defaults 1 and 2,
+	// the longrun configuration).
+	InstrLimit int
+	NumRegs    int
+}
+
+func (o BenchOptions) withDefaults() BenchOptions {
+	if o.Workers <= 1 {
+		o.Workers = runtime.GOMAXPROCS(0)
+		if o.Workers < 2 {
+			o.Workers = 2
+		}
+	}
+	if o.Budget == 0 {
+		o.Budget = 10 * time.Second
+	}
+	if o.HuntTime == 0 {
+		o.HuntTime = 30 * time.Second
+	}
+	if o.Faults == nil {
+		o.Faults = []faults.Fault{faults.E1, faults.E5, faults.E6}
+	}
+	if o.InstrLimit == 0 {
+		o.InstrLimit = 1
+	}
+	if o.NumRegs == 0 {
+		o.NumRegs = 2
+	}
+	return o
+}
+
+// BenchThroughput is one budgeted comprehensive-exploration measurement.
+type BenchThroughput struct {
+	Workers        int
+	Paths          int
+	Completed      int
+	Instructions   uint64
+	SolverQueries  uint64
+	ElapsedSeconds float64
+	PathsPerSec    float64
+	QueriesPerSec  float64
+	// Speedup is this row's paths/sec relative to the workers=1 row.
+	Speedup float64
+}
+
+// BenchHunt is one per-fault time-to-bug measurement.
+type BenchHunt struct {
+	Fault         string
+	Workers       int
+	Found         bool
+	TimeToBugSecs float64
+	Paths         int
+	SolverQueries uint64
+}
+
+// BenchReport is the JSON document emitted by symv bench.
+type BenchReport struct {
+	GOMAXPROCS int
+	NumCPU     int
+	BudgetSecs float64
+	InstrLimit int
+	NumRegs    int
+	Throughput []BenchThroughput
+	Hunts      []BenchHunt
+}
+
+// RunBench measures exploration throughput (paths/sec, solver queries/sec on
+// the longrun workload) and per-fault time-to-bug (the Table II cell) at
+// workers=1 and workers=N, quantifying what the sharded orchestrator buys on
+// this machine.
+func RunBench(opt BenchOptions) *BenchReport {
+	opt = opt.withDefaults()
+	rep := &BenchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		BudgetSecs: opt.Budget.Seconds(),
+		InstrLimit: opt.InstrLimit,
+		NumRegs:    opt.NumRegs,
+	}
+
+	for _, w := range []int{1, opt.Workers} {
+		cfg := cosim.Config{
+			ISS:             iss.VPConfig(),
+			Core:            microrv32.ShippedConfig(),
+			InstrLimit:      opt.InstrLimit,
+			NumSymbolicRegs: opt.NumRegs,
+		}
+		r := Explore(cosim.RunFunc(cfg), core.Options{MaxTime: opt.Budget}, w)
+		row := BenchThroughput{
+			Workers:        w,
+			Paths:          r.Stats.Paths,
+			Completed:      r.Stats.Completed,
+			Instructions:   r.Stats.Instructions,
+			SolverQueries:  r.Stats.SolverQueries,
+			ElapsedSeconds: r.Stats.Elapsed.Seconds(),
+		}
+		if row.ElapsedSeconds > 0 {
+			row.PathsPerSec = float64(row.Paths) / row.ElapsedSeconds
+			row.QueriesPerSec = float64(row.SolverQueries) / row.ElapsedSeconds
+		}
+		if base := firstThroughput(rep.Throughput); base != nil && base.PathsPerSec > 0 {
+			row.Speedup = row.PathsPerSec / base.PathsPerSec
+		} else {
+			row.Speedup = 1
+		}
+		rep.Throughput = append(rep.Throughput, row)
+	}
+
+	for _, f := range opt.Faults {
+		for _, w := range []int{1, opt.Workers} {
+			coreCfg := microrv32.FixedConfig()
+			coreCfg.Faults = faults.Only(f)
+			cfg := cosim.Config{
+				ISS:        iss.FixedConfig(),
+				Core:       coreCfg,
+				Filter:     cosim.BlockSystemInstructions,
+				InstrLimit: opt.InstrLimit,
+			}
+			t0 := time.Now()
+			r := Explore(cosim.RunFunc(cfg), core.Options{
+				StopOnFirstFinding: true,
+				MaxTime:            opt.HuntTime,
+			}, w)
+			rep.Hunts = append(rep.Hunts, BenchHunt{
+				Fault:         f.String(),
+				Workers:       w,
+				Found:         len(r.Findings) > 0,
+				TimeToBugSecs: time.Since(t0).Seconds(),
+				Paths:         r.Stats.Paths,
+				SolverQueries: r.Stats.SolverQueries,
+			})
+		}
+	}
+	return rep
+}
+
+func firstThroughput(rows []BenchThroughput) *BenchThroughput {
+	if len(rows) == 0 {
+		return nil
+	}
+	return &rows[0]
+}
+
+// Format renders the benchmark report as a human-readable table.
+func (r *BenchReport) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Exploration benchmark (GOMAXPROCS=%d, %d CPU, longrun workload: limit %d, %d symbolic regs, %.0fs/point)\n",
+		r.GOMAXPROCS, r.NumCPU, r.InstrLimit, r.NumRegs, r.BudgetSecs)
+	fmt.Fprintf(&b, "%-8s %8s %10s %12s %12s %12s %8s\n",
+		"Workers", "Paths", "Complete", "Queries", "Paths/s", "Queries/s", "Speedup")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 76))
+	for _, t := range r.Throughput {
+		fmt.Fprintf(&b, "%-8d %8d %10d %12d %12.1f %12.1f %7.2fx\n",
+			t.Workers, t.Paths, t.Completed, t.SolverQueries, t.PathsPerSec, t.QueriesPerSec, t.Speedup)
+	}
+	if len(r.Hunts) > 0 {
+		b.WriteString("\nTime-to-bug (matched baseline + injected fault, stop on first finding)\n")
+		fmt.Fprintf(&b, "%-7s %-8s %-6s %12s %8s %12s\n", "Fault", "Workers", "Found", "Time", "Paths", "Queries")
+		fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 58))
+		for _, h := range r.Hunts {
+			found := "no"
+			if h.Found {
+				found = "yes"
+			}
+			fmt.Fprintf(&b, "%-7s %-8d %-6s %11.2fs %8d %12d\n",
+				h.Fault, h.Workers, found, h.TimeToBugSecs, h.Paths, h.SolverQueries)
+		}
+	}
+	return b.String()
+}

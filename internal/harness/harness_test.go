@@ -96,7 +96,7 @@ func TestClassifierRowOrderCovers(t *testing.T) {
 }
 
 func TestLongRunSmoke(t *testing.T) {
-	res := RunLongRun(2*time.Second, 1, 2)
+	res := RunLongRun(2*time.Second, 1, 2, 1)
 	if res.Report.Stats.Paths == 0 {
 		t.Fatal("long run explored no paths")
 	}
@@ -107,7 +107,7 @@ func TestLongRunSmoke(t *testing.T) {
 }
 
 func TestLimitAblationSmoke(t *testing.T) {
-	pts := RunLimitAblation([]int{1}, 5*time.Second, 200)
+	pts := RunLimitAblation([]int{1}, 5*time.Second, 200, 1)
 	if len(pts) != 1 || pts[0].Paths == 0 {
 		t.Fatalf("limit ablation broken: %+v", pts)
 	}
@@ -149,7 +149,7 @@ func TestBaselineComparison(t *testing.T) {
 // exhaustive one-instruction exploration must generate test vectors covering
 // (nearly) every RV32I+Zicsr mnemonic plus the illegal class.
 func TestLongRunCoverage(t *testing.T) {
-	res := RunLongRun(60*time.Second, 1, 2)
+	res := RunLongRun(60*time.Second, 1, 2, 1)
 	if !res.Report.Exhausted {
 		t.Skip("exploration not exhausted within budget; coverage claim not assessable")
 	}
@@ -170,7 +170,7 @@ func TestLongRunCoverage(t *testing.T) {
 }
 
 func TestRegSliceAblationSmoke(t *testing.T) {
-	res := RunRegSliceAblation([]int{2, 4}, 10*time.Second, 400)
+	res := RunRegSliceAblation([]int{2, 4}, 10*time.Second, 400, 1)
 	if len(res.Points) != 2 {
 		t.Fatalf("points = %d", len(res.Points))
 	}

@@ -19,24 +19,25 @@ type LongRunResult struct {
 	Budget  time.Duration
 	Limit   int
 	NumRegs int
+	Workers int
 }
 
 // RunLongRun performs a budgeted comprehensive exploration of the shipped
 // configuration (all instructions, VP reference), generating a test vector
-// per completed path.
-func RunLongRun(budget time.Duration, instrLimit, numRegs int) *LongRunResult {
+// per completed path. Workers > 1 shards the path tree across that many
+// solver contexts (see internal/parexplore).
+func RunLongRun(budget time.Duration, instrLimit, numRegs, workers int) *LongRunResult {
 	cfg := cosim.Config{
 		ISS:             iss.VPConfig(),
 		Core:            microrv32.ShippedConfig(),
 		InstrLimit:      instrLimit,
 		NumSymbolicRegs: numRegs,
 	}
-	x := core.NewExplorer(cosim.RunFunc(cfg))
-	rep := x.Explore(core.Options{
+	rep := Explore(cosim.RunFunc(cfg), core.Options{
 		MaxTime:       budget,
 		GenerateTests: true,
-	})
-	return &LongRunResult{Report: rep, Budget: budget, Limit: instrLimit, NumRegs: numRegs}
+	}, workers)
+	return &LongRunResult{Report: rep, Budget: budget, Limit: instrLimit, NumRegs: numRegs, Workers: workers}
 }
 
 // Format renders the long-run statistics paragraph.

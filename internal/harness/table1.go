@@ -77,6 +77,9 @@ type Table1Options struct {
 	// must produce zero rows.
 	ISSConfig  *iss.Config
 	CoreConfig *microrv32.Config
+	// Workers shards each probe's path tree across this many solver
+	// contexts (see internal/parexplore); <= 1 explores sequentially.
+	Workers int
 }
 
 func (o Table1Options) withDefaults() Table1Options {
@@ -116,11 +119,10 @@ func RunTable1(opt Table1Options) *Table1Result {
 			Filter:     probe.Filter,
 			InstrLimit: probe.Limit,
 		}
-		x := core.NewExplorer(cosim.RunFunc(cfg))
-		rep := x.Explore(core.Options{
+		rep := Explore(cosim.RunFunc(cfg), core.Options{
 			MaxTime:  opt.PerProbeTime,
 			MaxPaths: opt.PerProbeMaxPaths,
-		})
+		}, opt.Workers)
 		res.Stats.Paths += rep.Stats.Paths
 		res.Stats.Completed += rep.Stats.Completed
 		res.Stats.Partial += rep.Stats.Partial

@@ -56,6 +56,11 @@ type Table2Options struct {
 	// cell owns its explorer, term context and solver, so cells are fully
 	// independent. 0 or 1 runs sequentially.
 	Parallel int
+	// Workers shards each cell's path tree across this many solver contexts
+	// (see internal/parexplore); <= 1 explores sequentially. Orthogonal to
+	// Parallel: Parallel spreads cells, Workers splits within a cell, which
+	// also helps when a single slow cell dominates the campaign.
+	Workers int
 	// DUT selects the device under test (default: the MicroRV32 model).
 	DUT DUTKind
 }
@@ -163,14 +168,13 @@ func runTable2Cell(f faults.Fault, limit int, opt Table2Options) Table2Cell {
 		coreCfg.Faults = faults.Only(f)
 		cfg.Core = coreCfg
 	}
-	x := core.NewExplorer(cosim.RunFunc(cfg))
 	t0 := time.Now()
-	rep := x.Explore(core.Options{
+	rep := Explore(cosim.RunFunc(cfg), core.Options{
 		StopOnFirstFinding: true,
 		MaxTime:            opt.PerCellTime,
 		Search:             opt.Search,
 		Seed:               opt.Seed,
-	})
+	}, opt.Workers)
 	return Table2Cell{
 		Found:   len(rep.Findings) > 0,
 		Instr:   rep.Stats.Instructions,

@@ -1,0 +1,386 @@
+package parexplore_test
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"symriscv/internal/core"
+	"symriscv/internal/cosim"
+	"symriscv/internal/faults"
+	"symriscv/internal/harness"
+	"symriscv/internal/iss"
+	"symriscv/internal/microrv32"
+	"symriscv/internal/parexplore"
+)
+
+// findingTree enumerates 2^bits paths over one symbolic byte and reports a
+// distinct finding for every third bit pattern, so finding sets can be
+// compared across explorations.
+func findingTree(bits int) core.RunFunc {
+	return func(e *core.Engine) error {
+		ctx := e.Context()
+		v := e.MakeSymbolic("v", 8)
+		var pat uint64
+		for bit := 0; bit < bits; bit++ {
+			if e.Branch(ctx.Eq(ctx.Extract(v, bit, bit), ctx.BV(1, 1))) {
+				pat |= 1 << bit
+			}
+		}
+		e.CountInstruction(uint64(bits))
+		if pat%3 == 0 {
+			return fmt.Errorf("bad pattern %d", pat)
+		}
+		return nil
+	}
+}
+
+func findingSet(t *testing.T, rep *core.Report) map[string]int {
+	t.Helper()
+	set := map[string]int{}
+	for _, f := range rep.Findings {
+		set[f.Err.Error()]++
+	}
+	return set
+}
+
+func sameStats(a, b core.Stats) bool {
+	return a.Paths == b.Paths && a.Completed == b.Completed &&
+		a.Partial == b.Partial && a.Infeasible == b.Infeasible &&
+		a.Instructions == b.Instructions && a.Cycles == b.Cycles &&
+		a.Branches == b.Branches && a.Concretizations == b.Concretizations &&
+		a.SolverQueries == b.SolverQueries
+}
+
+// TestEquivalenceSweep checks the tentpole property over the synthetic tree:
+// for every worker count and search strategy, the parallel exploration of
+// the full tree reports the same statistic totals, finding set and test
+// vector count as the sequential explorer.
+func TestEquivalenceSweep(t *testing.T) {
+	const bits = 5
+	searches := []core.SearchStrategy{core.SearchDFS, core.SearchBFS, core.SearchRandom}
+	for _, search := range searches {
+		seqOpts := core.Options{Search: search, Seed: 7, GenerateTests: true}
+		seq := core.NewExplorer(findingTree(bits)).Explore(seqOpts)
+		if seq.Stats.Paths != 1<<bits {
+			t.Fatalf("%v: sequential paths = %d, want %d", search, seq.Stats.Paths, 1<<bits)
+		}
+		wantFindings := findingSet(t, &core.Report{Findings: seq.Findings})
+		for _, workers := range []int{1, 2, 4} {
+			par := parexplore.Explore(findingTree(bits), seqOpts, workers)
+			if !sameStats(seq.Stats, par.Stats) {
+				t.Errorf("%v/%d workers: stats diverge\nseq: %+v\npar: %+v",
+					search, workers, seq.Stats, par.Stats)
+			}
+			got := findingSet(t, par)
+			if len(got) != len(wantFindings) {
+				t.Errorf("%v/%d workers: findings %v, want %v", search, workers, got, wantFindings)
+			}
+			for k := range wantFindings {
+				if got[k] != wantFindings[k] {
+					t.Errorf("%v/%d workers: finding %q count %d, want %d",
+						search, workers, k, got[k], wantFindings[k])
+				}
+			}
+			if len(par.TestVectors) != len(seq.TestVectors) {
+				t.Errorf("%v/%d workers: %d test vectors, want %d",
+					search, workers, len(par.TestVectors), len(seq.TestVectors))
+			}
+			if par.Exhausted != seq.Exhausted {
+				t.Errorf("%v/%d workers: exhausted=%v, want %v",
+					search, workers, par.Exhausted, seq.Exhausted)
+			}
+		}
+	}
+}
+
+// TestWorkerCountByteIdentical checks the stronger per-field claim: reports
+// at different worker counts are identical including canonical path indices
+// (everything except wall-clock and per-context size fields).
+func TestWorkerCountByteIdentical(t *testing.T) {
+	opts := core.Options{Search: core.SearchDFS, GenerateTests: true}
+	ref := parexplore.Explore(findingTree(6), opts, 1)
+	for _, workers := range []int{2, 4} {
+		rep := parexplore.Explore(findingTree(6), opts, workers)
+		if !sameStats(ref.Stats, rep.Stats) {
+			t.Fatalf("%d workers: stats diverge: %+v vs %+v", workers, ref.Stats, rep.Stats)
+		}
+		if len(rep.Findings) != len(ref.Findings) {
+			t.Fatalf("%d workers: %d findings, want %d", workers, len(rep.Findings), len(ref.Findings))
+		}
+		for i := range ref.Findings {
+			if rep.Findings[i].Err.Error() != ref.Findings[i].Err.Error() ||
+				rep.Findings[i].Path != ref.Findings[i].Path {
+				t.Errorf("%d workers: finding %d = (%v, path %d), want (%v, path %d)",
+					workers, i, rep.Findings[i].Err, rep.Findings[i].Path,
+					ref.Findings[i].Err, ref.Findings[i].Path)
+			}
+		}
+		for i := range ref.TestVectors {
+			if rep.TestVectors[i].Path != ref.TestVectors[i].Path {
+				t.Errorf("%d workers: test vector %d path %d, want %d",
+					workers, i, rep.TestVectors[i].Path, ref.TestVectors[i].Path)
+			}
+		}
+	}
+}
+
+// TestDFSMatchesSequentialOrder checks canonical numbering against the
+// sequential depth-first explorer: DFS discovery order equals canonical
+// signature order, so finding path indices must agree exactly.
+func TestDFSMatchesSequentialOrder(t *testing.T) {
+	opts := core.Options{Search: core.SearchDFS}
+	seq := core.NewExplorer(findingTree(5)).Explore(opts)
+	for _, workers := range []int{1, 3} {
+		par := parexplore.Explore(findingTree(5), opts, workers)
+		if len(par.Findings) != len(seq.Findings) {
+			t.Fatalf("%d workers: %d findings, want %d", workers, len(par.Findings), len(seq.Findings))
+		}
+		for i := range seq.Findings {
+			if par.Findings[i].Path != seq.Findings[i].Path ||
+				par.Findings[i].Err.Error() != seq.Findings[i].Err.Error() {
+				t.Errorf("%d workers: finding %d = (path %d, %v), want (path %d, %v)",
+					workers, i, par.Findings[i].Path, par.Findings[i].Err,
+					seq.Findings[i].Path, seq.Findings[i].Err)
+			}
+		}
+	}
+}
+
+// TestMaxPathsMatchesSequentialDFS checks the canonical MaxPaths cut: the
+// parallel exploration keeps exactly the MaxPaths smallest-signature paths,
+// which under DFS is the same set the sequential explorer visits.
+func TestMaxPathsMatchesSequentialDFS(t *testing.T) {
+	opts := core.Options{Search: core.SearchDFS, MaxPaths: 9}
+	seq := core.NewExplorer(findingTree(5)).Explore(opts)
+	if seq.Stats.Paths != 9 || seq.Exhausted {
+		t.Fatalf("sequential: paths=%d exhausted=%v", seq.Stats.Paths, seq.Exhausted)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		par := parexplore.Explore(findingTree(5), opts, workers)
+		if !sameStats(seq.Stats, par.Stats) {
+			t.Errorf("%d workers: stats diverge\nseq: %+v\npar: %+v", workers, seq.Stats, par.Stats)
+		}
+		if par.Exhausted {
+			t.Errorf("%d workers: truncated run reported as exhausted", workers)
+		}
+	}
+}
+
+// TestMaxInstructionsMatchesSequentialDFS checks the canonical cumulative
+// instruction cut against the sequential explorer.
+func TestMaxInstructionsMatchesSequentialDFS(t *testing.T) {
+	// Each path retires 5 instructions; a budget of 23 admits 5 paths
+	// (cumulative 0,5,10,15,20 all under budget; the sixth starts at 25).
+	opts := core.Options{Search: core.SearchDFS, MaxInstructions: 23}
+	seq := core.NewExplorer(findingTree(5)).Explore(opts)
+	if seq.Stats.Paths != 5 {
+		t.Fatalf("sequential paths = %d, want 5", seq.Stats.Paths)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		par := parexplore.Explore(findingTree(5), opts, workers)
+		if !sameStats(seq.Stats, par.Stats) {
+			t.Errorf("%d workers: stats diverge\nseq: %+v\npar: %+v", workers, seq.Stats, par.Stats)
+		}
+	}
+}
+
+// TestStopOnFirstFindingCanonical checks StopOnFirstFinding returns the
+// minimum-signature finding — the one sequential DFS reports — for every
+// worker count and search strategy.
+func TestStopOnFirstFindingCanonical(t *testing.T) {
+	seqOpts := core.Options{Search: core.SearchDFS, StopOnFirstFinding: true}
+	seq := core.NewExplorer(findingTree(5)).Explore(seqOpts)
+	if len(seq.Findings) != 1 {
+		t.Fatalf("sequential findings = %d, want 1", len(seq.Findings))
+	}
+	want := seq.Findings[0].Err.Error()
+	for _, search := range []core.SearchStrategy{core.SearchDFS, core.SearchBFS, core.SearchRandom} {
+		for _, workers := range []int{1, 2, 4} {
+			opts := core.Options{Search: search, Seed: 3, StopOnFirstFinding: true}
+			par := parexplore.Explore(findingTree(5), opts, workers)
+			if len(par.Findings) != 1 {
+				t.Fatalf("%v/%d workers: findings = %d, want 1", search, workers, len(par.Findings))
+			}
+			if got := par.Findings[0].Err.Error(); got != want {
+				t.Errorf("%v/%d workers: finding %q, want canonical %q", search, workers, got, want)
+			}
+			if par.Exhausted {
+				t.Errorf("%v/%d workers: stop-on-first run reported exhausted", search, workers)
+			}
+		}
+	}
+	// Under DFS the full stop-on-first report matches sequential exactly.
+	par := parexplore.Explore(findingTree(5), seqOpts, 2)
+	if !sameStats(seq.Stats, par.Stats) {
+		t.Errorf("DFS/2 workers: stats diverge\nseq: %+v\npar: %+v", seq.Stats, par.Stats)
+	}
+}
+
+// TestErrStopExplorationCanonical checks a RunFunc stop return truncates the
+// exploration at its canonical position, like the sequential explorer.
+func TestErrStopExplorationCanonical(t *testing.T) {
+	run := func(e *core.Engine) error {
+		ctx := e.Context()
+		v := e.MakeSymbolic("v", 8)
+		var pat uint64
+		for bit := 0; bit < 4; bit++ {
+			if e.Branch(ctx.Eq(ctx.Extract(v, bit, bit), ctx.BV(1, 1))) {
+				pat |= 1 << bit
+			}
+		}
+		if pat == 2 {
+			return core.ErrStopExploration
+		}
+		return nil
+	}
+	seq := core.NewExplorer(run).Explore(core.Options{Search: core.SearchDFS})
+	for _, workers := range []int{1, 2, 4} {
+		par := parexplore.Explore(run, core.Options{Search: core.SearchDFS}, workers)
+		if !sameStats(seq.Stats, par.Stats) {
+			t.Errorf("%d workers: stats diverge\nseq: %+v\npar: %+v", workers, seq.Stats, par.Stats)
+		}
+		if par.Exhausted {
+			t.Errorf("%d workers: stopped run reported exhausted", workers)
+		}
+	}
+}
+
+// TestNoOptEquivalence runs the ablation mode (lazy sibling validation, so
+// infeasible paths actually occur) through the same sweep.
+func TestNoOptEquivalence(t *testing.T) {
+	run := func(e *core.Engine) error {
+		ctx := e.Context()
+		v := e.MakeSymbolic("v", 8)
+		// Dependent conditions make some flipped siblings infeasible.
+		e.Branch(ctx.Ult(v, ctx.BV(8, 10)))
+		e.Branch(ctx.Ult(v, ctx.BV(8, 5)))
+		e.Branch(ctx.Ult(v, ctx.BV(8, 200)))
+		return nil
+	}
+	opts := core.Options{Search: core.SearchDFS, NoBranchOptimizations: true}
+	seq := core.NewExplorer(run).Explore(opts)
+	if seq.Stats.Infeasible == 0 {
+		t.Fatal("ablation workload produced no infeasible paths")
+	}
+	for _, workers := range []int{1, 2, 4} {
+		par := parexplore.Explore(run, opts, workers)
+		if !sameStats(seq.Stats, par.Stats) {
+			t.Errorf("%d workers: stats diverge\nseq: %+v\npar: %+v", workers, seq.Stats, par.Stats)
+		}
+	}
+}
+
+// TestProgressCallbackFires checks the merged progress hook runs without
+// racing (the callback mutates shared state; -race guards it).
+func TestProgressCallbackFires(t *testing.T) {
+	var calls int
+	var last core.Stats
+	opts := core.Options{
+		Search:        core.SearchDFS,
+		ProgressEvery: 4,
+		Progress: func(s core.Stats) {
+			calls++
+			last = s
+		},
+	}
+	parexplore.Explore(findingTree(5), opts, 2)
+	if calls != 8 {
+		t.Errorf("progress calls = %d, want 8 (32 paths / every 4)", calls)
+	}
+	if last.Paths == 0 {
+		t.Error("progress snapshot empty")
+	}
+}
+
+// TestNoGoroutineLeak checks every worker exits after a stop-on-first-finding
+// cancellation, with no goroutine left behind.
+func TestNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 3; i++ {
+		rep := parexplore.Explore(findingTree(7), core.Options{
+			Search:             core.SearchDFS,
+			StopOnFirstFinding: true,
+		}, 4)
+		if len(rep.Findings) != 1 {
+			t.Fatalf("findings = %d, want 1", len(rep.Findings))
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestCosimFaultEquivalence runs real co-simulation hunts (the Table II cell
+// recipe) for a fault sample and checks the parallel explorer finds the same
+// mismatch class with the same deterministic statistics at every worker
+// count. Witness values are any-model, so the comparison uses the mismatch
+// classification key, not the rendered error.
+func TestCosimFaultEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cosim campaign test")
+	}
+	sample := []faults.Fault{faults.E1, faults.E5, faults.E6}
+	for _, f := range sample {
+		coreCfg := microrv32.FixedConfig()
+		coreCfg.Faults = faults.Only(f)
+		cfg := cosim.Config{
+			ISS:        iss.FixedConfig(),
+			Core:       coreCfg,
+			Filter:     cosim.BlockSystemInstructions,
+			InstrLimit: 1,
+		}
+		opts := core.Options{StopOnFirstFinding: true, MaxTime: 120 * time.Second}
+		seq := core.NewExplorer(cosim.RunFunc(cfg)).Explore(opts)
+		if len(seq.Findings) != 1 {
+			t.Fatalf("%s: sequential findings = %d, want 1", f, len(seq.Findings))
+		}
+		wantKey := classifyKey(t, seq.Findings[0].Err)
+		for _, workers := range []int{1, 2} {
+			par := parexplore.Explore(cosim.RunFunc(cfg), opts, workers)
+			if len(par.Findings) != 1 {
+				t.Fatalf("%s/%d workers: findings = %d, want 1", f, workers, len(par.Findings))
+			}
+			if got := classifyKey(t, par.Findings[0].Err); got != wantKey {
+				t.Errorf("%s/%d workers: mismatch class %q, want %q", f, workers, got, wantKey)
+			}
+			if !sameStats(seq.Stats, par.Stats) {
+				t.Errorf("%s/%d workers: stats diverge\nseq: %+v\npar: %+v",
+					f, workers, seq.Stats, par.Stats)
+			}
+		}
+	}
+}
+
+func classifyKey(t *testing.T, err error) string {
+	t.Helper()
+	var m *cosim.Mismatch
+	if !errors.As(err, &m) {
+		t.Fatalf("finding is not a mismatch: %v", err)
+	}
+	return harness.Classify(m).Key()
+}
+
+// TestSigOrderIsFirstComeStable documents the canonical-order invariant the
+// merge relies on (sorted findings are in ascending path-index order).
+func TestSigOrderIsFirstComeStable(t *testing.T) {
+	rep := parexplore.Explore(findingTree(5), core.Options{Search: core.SearchBFS}, 3)
+	idx := make([]int, len(rep.Findings))
+	for i, f := range rep.Findings {
+		idx[i] = f.Path
+	}
+	if !sort.IntsAreSorted(idx) {
+		t.Errorf("finding path indices not canonical: %v", idx)
+	}
+}

@@ -114,8 +114,18 @@ func (s *Solver) ModelValue(t *smt.Term) uint64 {
 // reading encoded variables from the SAT model and defaulting unconstrained
 // ones to zero. Valid after a Sat answer.
 func (s *Solver) Model() smt.MapEnv {
-	env := make(smt.MapEnv)
-	for _, v := range s.ctx.Vars() {
+	return s.ModelFor(s.ctx.Vars())
+}
+
+// ModelFor returns an assignment restricted to the given variables, reading
+// encoded ones from the SAT model and defaulting unconstrained ones to zero.
+// Valid after a Sat answer. Where Model walks every variable the context has
+// ever interned — O(context), which grows with the whole exploration — this
+// is O(len(vars)), so callers that only need the symbolic inputs of one path
+// (test-vector extraction, witness filtering) should prefer it.
+func (s *Solver) ModelFor(vars []*smt.Term) smt.MapEnv {
+	env := make(smt.MapEnv, len(vars))
+	for _, v := range vars {
 		if val, ok := s.bb.ModelValue(v); ok {
 			env[v.Name()] = val
 		} else {

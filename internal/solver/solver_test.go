@@ -390,3 +390,37 @@ func TestWidthOneTerms(t *testing.T) {
 		t.Fatalf("width-1 a/a must always be 1: %v", got)
 	}
 }
+
+// TestModelForRestrictsToGivenVars: ModelFor must agree with Model on the
+// requested variables and must not materialise anything else.
+func TestModelForRestrictsToGivenVars(t *testing.T) {
+	ctx := smt.NewContext()
+	s := New(ctx)
+	a := ctx.Var("mf_a", 16)
+	b := ctx.Var("mf_b", 16)
+	ctx.Var("mf_unrelated", 16) // interned but never asked for
+	if got := s.Check(ctx.Eq(ctx.Add(a, b), ctx.BV(16, 0x1234)), ctx.Eq(b, ctx.BV(16, 0x34))); got != Sat {
+		t.Fatalf("check = %v, want sat", got)
+	}
+	full := s.Model()
+	part := s.ModelFor([]*smt.Term{a, b})
+	if len(part) != 2 {
+		t.Fatalf("ModelFor returned %d bindings, want 2: %v", len(part), part)
+	}
+	for _, name := range []string{"mf_a", "mf_b"} {
+		if part[name] != full[name] {
+			t.Fatalf("ModelFor[%s] = %#x, Model[%s] = %#x", name, part[name], name, full[name])
+		}
+	}
+	if _, ok := part["mf_unrelated"]; ok {
+		t.Fatal("ModelFor leaked a variable that was not requested")
+	}
+	if part["mf_a"]+part["mf_b"] != 0x1234 {
+		t.Fatalf("model does not satisfy constraint: %#x + %#x", part["mf_a"], part["mf_b"])
+	}
+	// A variable that was never encoded reads as zero, like Model does.
+	free := ctx.Var("mf_free", 8)
+	if env := s.ModelFor([]*smt.Term{free}); env["mf_free"] != 0 {
+		t.Fatalf("unconstrained variable = %#x, want 0", env["mf_free"])
+	}
+}
