@@ -79,7 +79,7 @@ func BenchmarkTable2(b *testing.B) {
 // §V-A exemplary run, scaled to a fixed wall budget).
 func BenchmarkLongRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := harness.RunLongRun(5*time.Second, 1, 2, 1)
+		res := harness.RunLongRun(5*time.Second, 1, 2, 1, harness.Ablate{})
 		b.ReportMetric(float64(res.Report.Stats.Paths), "paths")
 		b.ReportMetric(float64(res.Report.Stats.Instructions), "instrs")
 		b.ReportMetric(float64(len(res.Report.TestVectors)), "testvecs")

@@ -6,14 +6,19 @@
 //
 //	symv table1  [-probe-time 60s] [-max-paths 5000] [-workers N]
 //	symv table2  [-cell-time 60s] [-limits 1,2] [-faults E0,E3] [-workers N]
-//	symv hunt    [-fault E6] [-limit 1] [-shipped] [-regs 2] [-time 60s] [-workers N]
-//	symv longrun [-budget 30s] [-limit 1] [-regs 2] [-workers N]
+//	symv hunt    [-fault E6] [-limit 1] [-shipped] [-regs 2] [-time 60s] [-workers N] [-cache on|off] [-rewrite on|off]
+//	symv longrun [-budget 30s] [-limit 1] [-regs 2] [-workers N] [-cache on|off] [-rewrite on|off]
 //	symv ablation [-kind regs|limit] [-budget 30s] [-workers N]
-//	symv bench   [-budget 10s] [-workers N] [-json BENCH_explore.json] [-quick]
+//	symv bench   [-budget 10s] [-workers N] [-json BENCH_explore.json] [-quick] [-ablate] [-cache on|off] [-rewrite on|off]
 //
 // -workers N shards each exploration's path tree across N solver contexts
 // (default GOMAXPROCS); results are identical to -workers 1 by construction
 // (see internal/parexplore).
+//
+// -cache=off disables the query-elimination layer (stack models, independence
+// slicing, feasibility caching) and -rewrite=off the extended term rewrites;
+// both are ablation switches — reports are identical on and off by
+// construction, only the solver work changes (see internal/querycache).
 package main
 
 import (
@@ -173,9 +178,14 @@ func cmdHunt(args []string) error {
 	irq := fs.Bool("interrupts", false, "drive a symbolic external-interrupt line")
 	irqBug := fs.Bool("mie-bug", false, "inject the missing-MIE-gate interrupt fault")
 	workers := workersFlag(fs)
+	cacheArg, rewriteArg := ablateFlags(fs)
 	fs.Parse(args)
 
 	strategy, err := parseSearch(*search)
+	if err != nil {
+		return err
+	}
+	ab, err := parseAblate(*cacheArg, *rewriteArg)
 	if err != nil {
 		return err
 	}
@@ -215,6 +225,8 @@ func cmdHunt(args []string) error {
 		MaxTime:            *budget,
 		Search:             strategy,
 		Seed:               *seed,
+		NoQueryCache:       ab.NoQueryCache,
+		NoTermRewrites:     ab.NoTermRewrites,
 	}
 	if *progress {
 		opts.Progress = func(s core.Stats) { fmt.Fprintf(os.Stderr, "  ... %v\n", s) }
@@ -245,9 +257,14 @@ func cmdLongRun(args []string) error {
 	regs := fs.Int("regs", 2, "symbolic register slice size")
 	coverage := fs.Bool("coverage", false, "print test-set instruction coverage")
 	workers := workersFlag(fs)
+	cacheArg, rewriteArg := ablateFlags(fs)
 	fs.Parse(args)
 
-	res := harness.RunLongRun(*budget, *limit, *regs, *workers)
+	ab, err := parseAblate(*cacheArg, *rewriteArg)
+	if err != nil {
+		return err
+	}
+	res := harness.RunLongRun(*budget, *limit, *regs, *workers, ab)
 	fmt.Print(res.Format())
 	if *coverage {
 		cov := harness.Coverage(harness.TestSetInputs(res.Report))
@@ -363,6 +380,35 @@ func workersFlag(fs *flag.FlagSet) *int {
 		"parallel exploration workers per exploration (1 = sequential; results are worker-count independent)")
 }
 
+// ablateFlags registers the shared query-elimination ablation flags. Reports
+// (paths, findings, engine queries) are identical on and off by construction;
+// the toggles exist to measure what the elimination layer buys.
+func ablateFlags(fs *flag.FlagSet) (cache, rewrite *string) {
+	cache = fs.String("cache", "on", "query-elimination layer (stack models, slicing, feasibility cache): on | off")
+	rewrite = fs.String("rewrite", "on", "extended term rewrites ahead of bit-blasting: on | off")
+	return cache, rewrite
+}
+
+func parseAblate(cache, rewrite string) (harness.Ablate, error) {
+	var ab harness.Ablate
+	var err error
+	if ab.NoQueryCache, err = offSwitch("cache", cache); err != nil {
+		return ab, err
+	}
+	ab.NoTermRewrites, err = offSwitch("rewrite", rewrite)
+	return ab, err
+}
+
+func offSwitch(name, v string) (bool, error) {
+	switch strings.ToLower(v) {
+	case "on", "":
+		return false, nil
+	case "off":
+		return true, nil
+	}
+	return false, fmt.Errorf("bad -%s=%q (want on or off)", name, v)
+}
+
 func cmdBench(args []string) error {
 	fs := flag.NewFlagSet("bench", flag.ExitOnError)
 	budget := fs.Duration("budget", 10*time.Second, "throughput budget per worker count")
@@ -372,12 +418,20 @@ func cmdBench(args []string) error {
 	quick := fs.Bool("quick", false, "CI smoke mode: 2s budgets, one fault")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"parallel worker count compared against workers=1 (floored at 2)")
+	cacheArg, rewriteArg := ablateFlags(fs)
+	ablate := fs.Bool("ablate", false, "run the cache-on/cache-off equivalence check even outside -quick")
 	fs.Parse(args)
 
+	ab, err := parseAblate(*cacheArg, *rewriteArg)
+	if err != nil {
+		return err
+	}
 	opt := harness.BenchOptions{
-		Workers:  *workers,
-		Budget:   *budget,
-		HuntTime: *huntTime,
+		Workers:       *workers,
+		Budget:        *budget,
+		HuntTime:      *huntTime,
+		Ablate:        ab,
+		CacheAblation: *ablate,
 	}
 	if *faultsArg != "" {
 		fset, err := parseFaults(*faultsArg)
@@ -392,6 +446,8 @@ func cmdBench(args []string) error {
 		if opt.Faults == nil {
 			opt.Faults = []faults.Fault{faults.E6}
 		}
+		// CI smoke: always cross-check the cache determinism contract.
+		opt.CacheAblation = true
 	}
 	res := harness.RunBench(opt)
 	fmt.Print(res.Format())
@@ -410,6 +466,9 @@ func cmdBench(args []string) error {
 			return err
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if res.Ablation != nil && !res.Ablation.Match {
+		return fmt.Errorf("bench: cache ablation mismatch: %s", res.Ablation.Mismatch)
 	}
 	return nil
 }

@@ -130,6 +130,14 @@ func TestDeterminismParexploreExempt(t *testing.T) {
 	}
 }
 
+// TestDeterminismQuerycacheScope pins the query-elimination layer inside the
+// determinism analyzer's scope: cache hits replace solver calls, so any
+// wall-clock, PRNG or map-order dependence in internal/querycache would make
+// replayed prefixes diverge exactly like a nondeterministic kernel package.
+func TestDeterminismQuerycacheScope(t *testing.T) {
+	runFixture(t, "determinism", "symriscv/internal/querycache/fixture", Determinism)
+}
+
 func TestHashConsFixture(t *testing.T) {
 	runFixture(t, "hashcons", "symriscv/internal/cosim/fixture", HashCons)
 }

@@ -22,6 +22,7 @@ var deterministicPkgs = []string{
 	"symriscv/internal/iss",
 	"symriscv/internal/microrv32",
 	"symriscv/internal/pipecore",
+	"symriscv/internal/querycache",
 	"symriscv/internal/riscv",
 	"symriscv/internal/rtl",
 	"symriscv/internal/rvfi",

@@ -24,6 +24,7 @@ package core
 import (
 	"fmt"
 
+	"symriscv/internal/querycache"
 	"symriscv/internal/smt"
 	"symriscv/internal/solver"
 )
@@ -83,6 +84,12 @@ type event struct {
 	// feasible when the branch was taken, so the sibling replay can skip its
 	// feasibility check.
 	sibVerified bool
+	// sibModel, when non-nil, is the model that proved the other direction
+	// feasible. It seeds the sibling path's stack cache (querycache): the
+	// model satisfies the sibling's entire replayed constraint prefix, so
+	// every branch condition it satisfies during that path resolves without
+	// a solver query. Maps are immutable once recorded.
+	sibModel querycache.Model
 }
 
 // Engine is the per-path symbolic execution interface handed to the program
@@ -108,17 +115,32 @@ type Engine struct {
 	// (Options.NoBranchOptimizations — the engine ablation).
 	noOpt bool
 
+	// qc, when non-nil, is the query-elimination layer all feasibility
+	// queries route through (Options.NoQueryCache disables it).
+	qc *querycache.Local
+
 	stats *Stats
 }
 
-func newEngine(ctx *smt.Context, sol *solver.Solver, prefix []event, stats *Stats) *Engine {
-	return &Engine{
+func newEngine(ctx *smt.Context, sol *solver.Solver, prefix []event, stats *Stats, qc *querycache.Local) *Engine {
+	e := &Engine{
 		ctx:    ctx,
 		sol:    sol,
 		prefix: prefix,
 		pcsSet: make(map[*smt.Term]struct{}, 64),
+		qc:     qc,
 		stats:  stats,
 	}
+	if qc != nil {
+		var seed querycache.Model
+		if n := len(prefix); n > 0 {
+			// The last prefix event is the flipped branch; its sibModel (when
+			// captured) satisfies exactly this path's replayed constraints.
+			seed = prefix[n-1].sibModel
+		}
+		qc.BeginPath(seed)
+	}
+	return e
 }
 
 // Context returns the shared term context.
@@ -157,9 +179,11 @@ func (e *Engine) Assume(cond *smt.Term) {
 		}
 		return
 	}
-	switch e.check(append(e.pcs, cond)...) {
+	switch e.checkFeasible(cond) {
 	case solver.Sat:
-		e.addPC(cond)
+		// Assumptions replayed from the prefix were part of the scheduling
+		// run too, so the seed model is known to satisfy them.
+		e.addPC(cond, e.n < len(e.prefix))
 	case solver.Unsat:
 		panic(abortError{AbortInfeasible, "assumption contradicts path: " + cond.String()})
 	default:
@@ -199,11 +223,11 @@ func (e *Engine) Branch(cond *smt.Term) bool {
 			panic(fmt.Sprintf("core: replay divergence at event %d: program is not deterministic (have %v)", idx, ev.kind))
 		}
 		e.n++
-		e.addPC(polarise(e.ctx, cond, ev.dir))
+		e.addPC(polarise(e.ctx, cond, ev.dir), true)
 		if idx == len(e.prefix)-1 && !ev.sibVerified {
 			// This is the freshly flipped decision and its feasibility could
 			// not be proven when it was scheduled: verify it now.
-			switch e.check(e.pcs...) {
+			switch e.checkFeasible(nil) {
 			case solver.Unsat:
 				panic(abortError{AbortInfeasible, "flipped branch infeasible"})
 			case solver.Unknown:
@@ -219,26 +243,28 @@ func (e *Engine) Branch(cond *smt.Term) bool {
 	// branches have exactly one feasible direction, and proving the sibling
 	// infeasible here avoids scheduling (and re-running) a dead path.
 	e.stats.Branches++
-	switch e.check(append(e.pcs, cond)...) {
+	switch e.checkFeasible(cond) {
 	case solver.Sat:
 		ev := event{kind: evBranch, dir: true, cond: cond}
 		if !e.noOpt {
-			switch e.check(append(e.pcs, e.ctx.BNot(cond))...) {
+			res, sib := e.checkSibling(e.ctx.BNot(cond))
+			switch res {
 			case solver.Unsat:
 				ev.noSibling = true
 			case solver.Sat:
 				ev.sibVerified = true
+				ev.sibModel = sib
 			}
 		}
 		e.fresh = append(e.fresh, ev)
 		e.n++
-		e.addPC(cond)
+		e.addPC(cond, false)
 		return true
 	case solver.Unsat:
 		// pcs are satisfiable and pcs∧cond is not, so pcs∧¬cond is.
 		e.fresh = append(e.fresh, event{kind: evBranch, dir: false, cond: cond, noSibling: true})
 		e.n++
-		e.addPC(e.ctx.BNot(cond))
+		e.addPC(e.ctx.BNot(cond), false)
 		return false
 	default:
 		panic(abortError{AbortUnknown, "branch: solver budget exhausted"})
@@ -266,12 +292,12 @@ func (e *Engine) Concretize(t *smt.Term) uint64 {
 			panic(fmt.Sprintf("core: replay divergence at event %d: expected concretization", idx))
 		}
 		e.n++
-		e.addPC(e.ctx.Eq(t, e.ctx.BV(t.Width(), ev.val)))
+		e.addPC(e.ctx.Eq(t, e.ctx.BV(t.Width(), ev.val)), true)
 		return ev.val
 	}
 
 	e.stats.Concretizations++
-	switch e.check(e.pcs...) {
+	switch e.checkModel(nil) {
 	case solver.Unsat:
 		// Unreachable if the invariant holds; treat defensively.
 		panic(abortError{AbortInfeasible, "concretize: path constraints unsatisfiable"})
@@ -281,31 +307,58 @@ func (e *Engine) Concretize(t *smt.Term) uint64 {
 	v := e.sol.ModelValue(t)
 	e.fresh = append(e.fresh, event{kind: evConcretize, val: v, term: t})
 	e.n++
-	e.addPC(e.ctx.Eq(t, e.ctx.BV(t.Width(), v)))
+	e.addPC(e.ctx.Eq(t, e.ctx.BV(t.Width(), v)), false)
 	return v
 }
 
 // FindWitness reports whether cond is satisfiable together with the path
-// constraints and, if so, returns a full model. This is the voter's mismatch
-// query: it does not alter the path constraints.
+// constraints and, if so, returns a model over this path's symbolic inputs
+// (variables never registered through MakeSymbolic read as zero, matching
+// the solver's treatment of unconstrained variables). This is the voter's
+// mismatch query: it does not alter the path constraints.
 func (e *Engine) FindWitness(cond *smt.Term) (smt.MapEnv, bool) {
 	if v, ok := cond.IsBoolConst(); ok {
 		if !v {
 			return nil, false
 		}
 		// Trivially true: any model of the path constraints witnesses it.
-		if e.check(e.pcs...) != solver.Sat {
+		if e.checkModel(nil) != solver.Sat {
 			return nil, false
 		}
-		return e.sol.Model(), true
+		return e.sol.ModelFor(e.symbolic), true
+	}
+	if e.qc != nil {
+		e.stats.SolverQueries++
+		res, env := e.qc.CheckWitness(e.pcs, cond)
+		switch res {
+		case solver.Sat:
+			if env != nil {
+				return e.witnessEnv(env), true
+			}
+			return e.sol.ModelFor(e.symbolic), true
+		case solver.Unknown:
+			panic(abortError{AbortUnknown, "witness query: solver budget exhausted"})
+		}
+		return nil, false
 	}
 	switch e.check(append(e.pcs, cond)...) {
 	case solver.Sat:
-		return e.sol.Model(), true
+		return e.sol.ModelFor(e.symbolic), true
 	case solver.Unknown:
 		panic(abortError{AbortUnknown, "witness query: solver budget exhausted"})
 	}
 	return nil, false
+}
+
+// witnessEnv restricts a cache-provided model to this path's symbolic
+// inputs, with the same zero default for unconstrained variables as the
+// solver's model extraction.
+func (e *Engine) witnessEnv(m querycache.Model) smt.MapEnv {
+	out := make(smt.MapEnv, len(e.symbolic))
+	for _, v := range e.symbolic {
+		out[v.Name()] = m[v.Name()]
+	}
+	return out
 }
 
 // PathModel returns a model of the current path's symbolic inputs, used to
@@ -313,7 +366,7 @@ func (e *Engine) FindWitness(cond *smt.Term) (smt.MapEnv, bool) {
 // to the inputs registered via MakeSymbolic — O(symbolic inputs) rather than
 // O(every variable the context ever interned).
 func (e *Engine) PathModel() (smt.MapEnv, bool) {
-	if e.check(e.pcs...) != solver.Sat {
+	if e.checkModel(nil) != solver.Sat {
 		return nil, false
 	}
 	return e.sol.ModelFor(e.symbolic), true
@@ -335,14 +388,61 @@ func (e *Engine) AbortLimitReached(msg string) {
 	panic(abortError{AbortLimit, msg})
 }
 
-func (e *Engine) addPC(t *smt.Term) {
+// addPC appends a constraint to the path. trusted marks replayed
+// constraints: the query-cache seed model is known to satisfy them by
+// program determinism, so its revalidation is skipped.
+func (e *Engine) addPC(t *smt.Term, trusted bool) {
 	e.pcs = append(e.pcs, t)
 	e.pcsSet[t] = struct{}{}
+	if e.qc != nil {
+		e.qc.Observe(t, trusted)
+	}
 }
 
 func (e *Engine) check(assumptions ...*smt.Term) solver.Result {
 	e.stats.SolverQueries++
 	return e.sol.Check(assumptions...)
+}
+
+// checkFeasible answers satisfiability of the path constraints plus the
+// optional query condition (nil: the flip check over pcs alone), routing
+// through the query-elimination layer when enabled. SolverQueries counts the
+// engine-issued query either way, so the statistic is cache-independent.
+func (e *Engine) checkFeasible(query *smt.Term) solver.Result {
+	e.stats.SolverQueries++
+	if e.qc != nil {
+		return e.qc.CheckFeasible(e.pcs, query)
+	}
+	if query != nil {
+		return e.sol.Check(append(e.pcs, query)...)
+	}
+	return e.sol.Check(e.pcs...)
+}
+
+// checkSibling is the eager sibling-feasibility query; with the cache
+// enabled a Sat answer may carry the model that proves it, which seeds the
+// sibling path's stack cache.
+func (e *Engine) checkSibling(neg *smt.Term) (solver.Result, querycache.Model) {
+	e.stats.SolverQueries++
+	if e.qc != nil {
+		return e.qc.CheckSibling(e.pcs, neg)
+	}
+	return e.sol.Check(append(e.pcs, neg)...), nil
+}
+
+// checkModel answers satisfiability guaranteeing a pass-through to the
+// solver, so model values can be read afterwards. Model-bearing queries are
+// never answered from the cache: the values the engine reads (concretized
+// constants, witnesses, test vectors) must not depend on cache state.
+func (e *Engine) checkModel(query *smt.Term) solver.Result {
+	e.stats.SolverQueries++
+	if e.qc != nil {
+		return e.qc.CheckModel(e.pcs, query)
+	}
+	if query != nil {
+		return e.sol.Check(append(e.pcs, query)...)
+	}
+	return e.sol.Check(e.pcs...)
 }
 
 // polarise returns cond or its negation according to dir.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"symriscv/internal/querycache"
 	"symriscv/internal/smt"
 	"symriscv/internal/solver"
 )
@@ -93,6 +94,13 @@ type Options struct {
 	// eager sibling-feasibility checks (ablation mode): siblings are
 	// scheduled optimistically and validated lazily on replay.
 	NoBranchOptimizations bool
+	// NoQueryCache disables the query-elimination layer (stack models,
+	// independence slicing, feasibility caching): every engine query goes
+	// straight to the SAT core. Ablation mode (symv -cache=off).
+	NoQueryCache bool
+	// NoTermRewrites disables the extended term rewrite rules, leaving only
+	// the basic constant folds. Ablation mode (symv -rewrite=off).
+	NoTermRewrites bool
 }
 
 // Stats aggregates exploration counters. The instruction and cycle counts
@@ -109,10 +117,26 @@ type Stats struct {
 
 	Branches        uint64
 	Concretizations uint64
-	SolverQueries   uint64
-	Elapsed         time.Duration
-	TermCount       int
-	SATVars         int
+	// SolverQueries counts engine-issued queries. It is independent of the
+	// query-elimination layer (a cache hit still counts), so it is part of
+	// the deterministic report contract.
+	SolverQueries uint64
+	Elapsed       time.Duration
+	TermCount     int
+	SATVars       int
+
+	// Telemetry below: like TermCount/SATVars/Elapsed these depend on cache
+	// and scheduling state and are excluded from determinism comparisons.
+
+	// CDCLQueries counts queries that reached the SAT core (the cost the
+	// elimination layer removes; equals SolverQueries with the cache off).
+	CDCLQueries uint64
+	// SolverUnknowns counts conflict-budget-exhausted answers.
+	SolverUnknowns uint64
+	// RewriteHits counts extended term-rewrite applications.
+	RewriteHits uint64
+	// Cache breaks eliminated queries down by hit kind.
+	Cache querycache.Stats
 }
 
 // Finding is a path that ended in an error (for the co-simulation: a voter
@@ -152,6 +176,7 @@ type Explorer struct {
 	ctx *smt.Context
 	sol *solver.Solver
 	run RunFunc
+	qc  *querycache.Local
 }
 
 // NewExplorer returns an explorer for the program run.
@@ -168,6 +193,12 @@ func (x *Explorer) Context() *smt.Context { return x.ctx }
 func (x *Explorer) Explore(opts Options) *Report {
 	start := wallNow()
 	x.sol.SetConflictBudget(opts.SolverConflictBudget)
+	x.ctx.SetExtendedRewrites(!opts.NoTermRewrites)
+	if opts.NoQueryCache {
+		x.qc = nil
+	} else if x.qc == nil {
+		x.qc = querycache.NewLocal(x.ctx, x.sol, nil)
+	}
 
 	rep := &Report{}
 	wk := &walker{}
@@ -198,7 +229,7 @@ func (x *Explorer) Explore(opts Options) *Report {
 			opts.Progress(snap)
 		}
 
-		eng := newEngine(x.ctx, x.sol, wk.materialize(n), &rep.Stats)
+		eng := newEngine(x.ctx, x.sol, wk.materialize(n), &rep.Stats, x.qc)
 		eng.noOpt = opts.NoBranchOptimizations
 		err, abort := runOne(x.run, eng)
 
@@ -255,6 +286,13 @@ func (x *Explorer) Explore(opts Options) *Report {
 func (x *Explorer) fillSizes(rep *Report) {
 	rep.Stats.TermCount = x.ctx.NumTerms()
 	rep.Stats.SATVars = x.sol.NumSATVars()
+	ss := x.sol.Stats()
+	rep.Stats.CDCLQueries = ss.Checks
+	rep.Stats.SolverUnknowns = ss.UnknownAns
+	rep.Stats.RewriteHits = x.ctx.RewriteHits()
+	if x.qc != nil {
+		rep.Stats.Cache = x.qc.Stats()
+	}
 }
 
 // runOne executes one path, converting abort panics into a structured result.

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 
+	"symriscv/internal/querycache"
 	"symriscv/internal/smt"
 	"symriscv/internal/solver"
 )
@@ -50,6 +51,8 @@ type ShardOptions struct {
 	SolverConflictBudget  uint64
 	NoBranchOptimizations bool
 	GenerateTests         bool
+	NoQueryCache          bool
+	NoTermRewrites        bool
 }
 
 // Shard explores disjoint subtrees of one program's path tree over a private
@@ -65,14 +68,16 @@ type Shard struct {
 	w    walker
 	rng  pathRNG
 	opts ShardOptions
+	qc   *querycache.Local
 }
 
 // NewShard returns a shard with a fresh context and solver.
 func NewShard(run RunFunc, opts ShardOptions) *Shard {
 	ctx := smt.NewContext()
+	ctx.SetExtendedRewrites(!opts.NoTermRewrites)
 	sol := solver.New(ctx)
 	sol.SetConflictBudget(opts.SolverConflictBudget)
-	return &Shard{
+	s := &Shard{
 		ctx:  ctx,
 		sol:  sol,
 		run:  run,
@@ -80,7 +85,41 @@ func NewShard(run RunFunc, opts ShardOptions) *Shard {
 		rng:  pathRNG{state: uint64(opts.Seed)},
 		opts: opts,
 	}
+	if !opts.NoQueryCache {
+		s.qc = querycache.NewLocal(ctx, sol, nil)
+	}
+	return s
 }
+
+// AttachSharedCache connects the cross-worker query-cache store. Call before
+// exploration starts; a no-op when the cache is disabled.
+func (s *Shard) AttachSharedCache(sh *querycache.Shared) {
+	if s.qc != nil {
+		s.qc.AttachShared(sh)
+	}
+}
+
+// FlushCache publishes locally created query-cache entries to the shared
+// store (no-op without one). The orchestrator calls this at handoff points.
+func (s *Shard) FlushCache() {
+	if s.qc != nil {
+		s.qc.Flush()
+	}
+}
+
+// CacheStats returns the shard's query-elimination counters.
+func (s *Shard) CacheStats() querycache.Stats {
+	if s.qc == nil {
+		return querycache.Stats{}
+	}
+	return s.qc.Stats()
+}
+
+// SolverStats returns the shard solver's cumulative counters.
+func (s *Shard) SolverStats() solver.Stats { return s.sol.Stats() }
+
+// RewriteHits returns the shard context's extended-rewrite application count.
+func (s *Shard) RewriteHits() uint64 { return s.ctx.RewriteHits() }
 
 // SeedRoot schedules the empty prefix — the whole path tree.
 func (s *Shard) SeedRoot() { s.w.addRoot() }
@@ -118,7 +157,7 @@ func (s *Shard) Step(order SearchStrategy) (PathRecord, bool) {
 	}
 
 	var st Stats
-	eng := newEngine(s.ctx, s.sol, s.w.materialize(n), &st)
+	eng := newEngine(s.ctx, s.sol, s.w.materialize(n), &st, s.qc)
 	eng.noOpt = s.opts.NoBranchOptimizations
 	err, abort := runOne(s.run, eng)
 

@@ -43,6 +43,10 @@ type Step struct {
 	Dir         bool   // branch direction taken
 	Val         uint64 // concretization value
 	SibVerified bool   // branch: this direction was proven feasible when scheduled
+	// SibModel is the model that proved this direction feasible (by variable
+	// name, so it is context-portable); it seeds the importing shard's stack
+	// cache. Nil when no complete model was captured. Immutable.
+	SibModel map[string]uint64
 }
 
 // node is one scheduled path of the frontier, represented as a parent
@@ -86,7 +90,7 @@ func (w *walker) addPrefix(steps []Step, sig Sig) {
 		if st.Concretize {
 			evs[i] = event{kind: evConcretize, val: st.Val}
 		} else {
-			evs[i] = event{kind: evBranch, dir: st.Dir, sibVerified: st.SibVerified}
+			evs[i] = event{kind: evBranch, dir: st.Dir, sibVerified: st.SibVerified, sibModel: st.SibModel}
 		}
 	}
 	w.frontier = append(w.frontier, &node{events: evs, take: len(evs), depth: len(evs), sig: sig})
@@ -193,6 +197,7 @@ func (w *walker) export(n *node) []Step {
 			Dir:         ev.dir,
 			Val:         ev.val,
 			SibVerified: ev.sibVerified,
+			SibModel:    ev.sibModel,
 		}
 	}
 	return steps

@@ -227,7 +227,7 @@ func TestWalkerMaterializeSharesPrefixes(t *testing.T) {
 	wk.addRoot()
 	n := wk.pop(SearchDFS, &pathRNG{})
 	var st Stats
-	eng := newEngine(x.ctx, x.sol, wk.materialize(n), &st)
+	eng := newEngine(x.ctx, x.sol, wk.materialize(n), &st, nil)
 	if err, abort := runOne(x.run, eng); err != nil || abort != nil {
 		t.Fatalf("run failed: %v / %v", err, abort)
 	}

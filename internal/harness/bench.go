@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -12,6 +13,21 @@ import (
 	"symriscv/internal/iss"
 	"symriscv/internal/microrv32"
 )
+
+// Ablate carries the query-elimination ablation toggles shared by the symv
+// subcommands (-cache=off disables the whole elimination layer, -rewrite=off
+// the extended term rewrites).
+type Ablate struct {
+	NoQueryCache   bool
+	NoTermRewrites bool
+}
+
+// apply copies the toggles onto an exploration's options.
+func (a Ablate) apply(o core.Options) core.Options {
+	o.NoQueryCache = a.NoQueryCache
+	o.NoTermRewrites = a.NoTermRewrites
+	return o
+}
 
 // BenchOptions configure the exploration benchmark (symv bench).
 type BenchOptions struct {
@@ -30,6 +46,16 @@ type BenchOptions struct {
 	// the longrun configuration).
 	InstrLimit int
 	NumRegs    int
+	// Ablate disables the query-elimination layer and/or the extended term
+	// rewrites for every measurement (symv bench -cache=off -rewrite=off).
+	Ablate Ablate
+	// CacheAblation additionally runs the bounded cache-on/cache-off
+	// equivalence check (always on under symv bench -quick): the same
+	// path-bounded workload must report identical paths, engine queries and
+	// findings with the elimination layer on and off.
+	CacheAblation bool
+	// AblationMaxPaths bounds the equivalence workload (default 400 paths).
+	AblationMaxPaths int
 }
 
 func (o BenchOptions) withDefaults() BenchOptions {
@@ -54,6 +80,9 @@ func (o BenchOptions) withDefaults() BenchOptions {
 	if o.NumRegs == 0 {
 		o.NumRegs = 2
 	}
+	if o.AblationMaxPaths == 0 {
+		o.AblationMaxPaths = 400
+	}
 	return o
 }
 
@@ -69,6 +98,33 @@ type BenchThroughput struct {
 	QueriesPerSec  float64
 	// Speedup is this row's paths/sec relative to the workers=1 row.
 	Speedup float64
+
+	// Query-elimination telemetry: how many engine queries reached the SAT
+	// core and how the rest were answered (see internal/querycache).
+	CDCLQueries    uint64
+	Eliminated     uint64
+	StackHits      uint64
+	ExactHits      uint64
+	SubsetSat      uint64
+	SupersetUnsat  uint64
+	SlicedQueries  uint64
+	SlicedDropped  uint64
+	RewriteHits    uint64
+	SolverUnknowns uint64
+}
+
+// fillTelemetry copies the query-elimination counters out of a report.
+func (t *BenchThroughput) fillTelemetry(s core.Stats) {
+	t.CDCLQueries = s.CDCLQueries
+	t.Eliminated = s.Cache.Eliminated()
+	t.StackHits = s.Cache.StackHits
+	t.ExactHits = s.Cache.ExactHits
+	t.SubsetSat = s.Cache.SubsetSat
+	t.SupersetUnsat = s.Cache.SupersetUnsat
+	t.SlicedQueries = s.Cache.SlicedQueries
+	t.SlicedDropped = s.Cache.SlicedDropped
+	t.RewriteHits = s.RewriteHits
+	t.SolverUnknowns = s.SolverUnknowns
 }
 
 // BenchHunt is one per-fault time-to-bug measurement.
@@ -79,6 +135,28 @@ type BenchHunt struct {
 	TimeToBugSecs float64
 	Paths         int
 	SolverQueries uint64
+	CDCLQueries   uint64
+	Eliminated    uint64
+}
+
+// BenchAblation is the bounded cache-on/cache-off equivalence check: the same
+// MaxPaths-bounded workload, explored sequentially with and without the
+// query-elimination layer, must report identical paths, engine queries and
+// findings (the determinism contract), while the CDCL counts quantify what
+// the layer removes.
+type BenchAblation struct {
+	MaxPaths int
+	Match    bool
+	Mismatch string `json:",omitempty"`
+
+	Paths         int
+	Completed     int
+	Findings      int
+	SolverQueries uint64
+	CDCLOn        uint64
+	CDCLOff       uint64
+	// ReductionPct is the share of SAT-core queries the layer removed.
+	ReductionPct float64
 }
 
 // BenchReport is the JSON document emitted by symv bench.
@@ -88,8 +166,13 @@ type BenchReport struct {
 	BudgetSecs float64
 	InstrLimit int
 	NumRegs    int
+	// CacheOff / RewriteOff record the ablation state the measurements ran
+	// under (symv bench -cache=off -rewrite=off).
+	CacheOff   bool `json:",omitempty"`
+	RewriteOff bool `json:",omitempty"`
 	Throughput []BenchThroughput
 	Hunts      []BenchHunt
+	Ablation   *BenchAblation `json:",omitempty"`
 }
 
 // RunBench measures exploration throughput (paths/sec, solver queries/sec on
@@ -104,6 +187,8 @@ func RunBench(opt BenchOptions) *BenchReport {
 		BudgetSecs: opt.Budget.Seconds(),
 		InstrLimit: opt.InstrLimit,
 		NumRegs:    opt.NumRegs,
+		CacheOff:   opt.Ablate.NoQueryCache,
+		RewriteOff: opt.Ablate.NoTermRewrites,
 	}
 
 	for _, w := range []int{1, opt.Workers} {
@@ -113,7 +198,7 @@ func RunBench(opt BenchOptions) *BenchReport {
 			InstrLimit:      opt.InstrLimit,
 			NumSymbolicRegs: opt.NumRegs,
 		}
-		r := Explore(cosim.RunFunc(cfg), core.Options{MaxTime: opt.Budget}, w)
+		r := Explore(cosim.RunFunc(cfg), opt.Ablate.apply(core.Options{MaxTime: opt.Budget}), w)
 		row := BenchThroughput{
 			Workers:        w,
 			Paths:          r.Stats.Paths,
@@ -122,6 +207,7 @@ func RunBench(opt BenchOptions) *BenchReport {
 			SolverQueries:  r.Stats.SolverQueries,
 			ElapsedSeconds: r.Stats.Elapsed.Seconds(),
 		}
+		row.fillTelemetry(r.Stats)
 		if row.ElapsedSeconds > 0 {
 			row.PathsPerSec = float64(row.Paths) / row.ElapsedSeconds
 			row.QueriesPerSec = float64(row.SolverQueries) / row.ElapsedSeconds
@@ -145,10 +231,10 @@ func RunBench(opt BenchOptions) *BenchReport {
 				InstrLimit: opt.InstrLimit,
 			}
 			t0 := time.Now()
-			r := Explore(cosim.RunFunc(cfg), core.Options{
+			r := Explore(cosim.RunFunc(cfg), opt.Ablate.apply(core.Options{
 				StopOnFirstFinding: true,
 				MaxTime:            opt.HuntTime,
-			}, w)
+			}), w)
 			rep.Hunts = append(rep.Hunts, BenchHunt{
 				Fault:         f.String(),
 				Workers:       w,
@@ -156,10 +242,92 @@ func RunBench(opt BenchOptions) *BenchReport {
 				TimeToBugSecs: time.Since(t0).Seconds(),
 				Paths:         r.Stats.Paths,
 				SolverQueries: r.Stats.SolverQueries,
+				CDCLQueries:   r.Stats.CDCLQueries,
+				Eliminated:    r.Stats.Cache.Eliminated(),
 			})
 		}
 	}
+
+	if opt.CacheAblation {
+		rep.Ablation = runCacheAblation(opt)
+	}
 	return rep
+}
+
+// runCacheAblation runs the bounded equivalence workload twice (elimination
+// layer on, then off) and cross-checks the deterministic report contract.
+func runCacheAblation(opt BenchOptions) *BenchAblation {
+	cfg := cosim.Config{
+		ISS:             iss.VPConfig(),
+		Core:            microrv32.ShippedConfig(),
+		InstrLimit:      opt.InstrLimit,
+		NumSymbolicRegs: opt.NumRegs,
+	}
+	bounded := core.Options{MaxPaths: opt.AblationMaxPaths}
+	on := Explore(cosim.RunFunc(cfg), bounded, 1)
+	offOpts := bounded
+	offOpts.NoQueryCache = true
+	off := Explore(cosim.RunFunc(cfg), offOpts, 1)
+
+	ab := &BenchAblation{
+		MaxPaths:      opt.AblationMaxPaths,
+		Match:         true,
+		Paths:         on.Stats.Paths,
+		Completed:     on.Stats.Completed,
+		Findings:      len(on.Findings),
+		SolverQueries: on.Stats.SolverQueries,
+		CDCLOn:        on.Stats.CDCLQueries,
+		CDCLOff:       off.Stats.CDCLQueries,
+	}
+	if ab.CDCLOff > 0 {
+		ab.ReductionPct = 100 * float64(ab.CDCLOff-ab.CDCLOn) / float64(ab.CDCLOff)
+	}
+
+	fail := func(format string, args ...any) {
+		ab.Match = false
+		if ab.Mismatch == "" {
+			ab.Mismatch = fmt.Sprintf(format, args...)
+		}
+	}
+	if on.Stats.Paths != off.Stats.Paths {
+		fail("paths differ: cache-on %d, cache-off %d", on.Stats.Paths, off.Stats.Paths)
+	}
+	if on.Stats.Completed != off.Stats.Completed {
+		fail("completed paths differ: cache-on %d, cache-off %d", on.Stats.Completed, off.Stats.Completed)
+	}
+	if on.Stats.Infeasible != off.Stats.Infeasible {
+		fail("infeasible counts differ: cache-on %d, cache-off %d", on.Stats.Infeasible, off.Stats.Infeasible)
+	}
+	if on.Stats.SolverQueries != off.Stats.SolverQueries {
+		fail("engine query counts differ: cache-on %d, cache-off %d", on.Stats.SolverQueries, off.Stats.SolverQueries)
+	}
+	if len(on.Findings) != len(off.Findings) {
+		fail("finding counts differ: cache-on %d, cache-off %d", len(on.Findings), len(off.Findings))
+	} else {
+		for i := range on.Findings {
+			a, b := on.Findings[i], off.Findings[i]
+			// Witness values are any-model (they depend on solver internals,
+			// not cache state), so findings compare by path index and mismatch
+			// class — the same contract the parexplore equivalence tests use.
+			if a.Path != b.Path || findingClass(a.Err) != findingClass(b.Err) {
+				fail("finding %d differs: cache-on (path %d) %s, cache-off (path %d) %s",
+					i, a.Path, findingClass(a.Err), b.Path, findingClass(b.Err))
+				break
+			}
+		}
+	}
+	return ab
+}
+
+// findingClass maps a finding to its deterministic comparison key: the
+// mismatch classification for co-simulation voter findings, the rendered
+// error otherwise.
+func findingClass(err error) string {
+	var m *cosim.Mismatch
+	if errors.As(err, &m) {
+		return Classify(m).Key()
+	}
+	return err.Error()
 }
 
 func firstThroughput(rows []BenchThroughput) *BenchThroughput {
@@ -174,25 +342,52 @@ func (r *BenchReport) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Exploration benchmark (GOMAXPROCS=%d, %d CPU, longrun workload: limit %d, %d symbolic regs, %.0fs/point)\n",
 		r.GOMAXPROCS, r.NumCPU, r.InstrLimit, r.NumRegs, r.BudgetSecs)
-	fmt.Fprintf(&b, "%-8s %8s %10s %12s %12s %12s %8s\n",
-		"Workers", "Paths", "Complete", "Queries", "Paths/s", "Queries/s", "Speedup")
-	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 76))
+	if r.CacheOff || r.RewriteOff {
+		fmt.Fprintf(&b, "ablation: cache=%s rewrite=%s\n", onOff(!r.CacheOff), onOff(!r.RewriteOff))
+	}
+	fmt.Fprintf(&b, "%-8s %8s %10s %12s %10s %10s %12s %8s\n",
+		"Workers", "Paths", "Complete", "Queries", "CDCL", "Elim", "Paths/s", "Speedup")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 85))
 	for _, t := range r.Throughput {
-		fmt.Fprintf(&b, "%-8d %8d %10d %12d %12.1f %12.1f %7.2fx\n",
-			t.Workers, t.Paths, t.Completed, t.SolverQueries, t.PathsPerSec, t.QueriesPerSec, t.Speedup)
+		fmt.Fprintf(&b, "%-8d %8d %10d %12d %10d %10d %12.1f %7.2fx\n",
+			t.Workers, t.Paths, t.Completed, t.SolverQueries, t.CDCLQueries, t.Eliminated, t.PathsPerSec, t.Speedup)
+	}
+	for _, t := range r.Throughput {
+		fmt.Fprintf(&b, "  cache w=%d: stack=%d exact=%d subset=%d superset=%d sliced=%d(-%d) rewrites=%d unknowns=%d\n",
+			t.Workers, t.StackHits, t.ExactHits, t.SubsetSat, t.SupersetUnsat,
+			t.SlicedQueries, t.SlicedDropped, t.RewriteHits, t.SolverUnknowns)
 	}
 	if len(r.Hunts) > 0 {
 		b.WriteString("\nTime-to-bug (matched baseline + injected fault, stop on first finding)\n")
-		fmt.Fprintf(&b, "%-7s %-8s %-6s %12s %8s %12s\n", "Fault", "Workers", "Found", "Time", "Paths", "Queries")
-		fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 58))
+		fmt.Fprintf(&b, "%-7s %-8s %-6s %12s %8s %12s %10s %10s\n",
+			"Fault", "Workers", "Found", "Time", "Paths", "Queries", "CDCL", "Elim")
+		fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 80))
 		for _, h := range r.Hunts {
 			found := "no"
 			if h.Found {
 				found = "yes"
 			}
-			fmt.Fprintf(&b, "%-7s %-8d %-6s %11.2fs %8d %12d\n",
-				h.Fault, h.Workers, found, h.TimeToBugSecs, h.Paths, h.SolverQueries)
+			fmt.Fprintf(&b, "%-7s %-8d %-6s %11.2fs %8d %12d %10d %10d\n",
+				h.Fault, h.Workers, found, h.TimeToBugSecs, h.Paths, h.SolverQueries, h.CDCLQueries, h.Eliminated)
 		}
 	}
+	if a := r.Ablation; a != nil {
+		verdict := "MATCH"
+		if !a.Match {
+			verdict = "MISMATCH: " + a.Mismatch
+		}
+		fmt.Fprintf(&b, "\nCache ablation (MaxPaths=%d, workers=1): %s\n", a.MaxPaths, verdict)
+		fmt.Fprintf(&b, "  paths=%d completed=%d findings=%d engine queries=%d\n",
+			a.Paths, a.Completed, a.Findings, a.SolverQueries)
+		fmt.Fprintf(&b, "  SAT-core queries: %d (cache off) -> %d (cache on), %.1f%% eliminated\n",
+			a.CDCLOff, a.CDCLOn, a.ReductionPct)
+	}
 	return b.String()
+}
+
+func onOff(on bool) string {
+	if on {
+		return "on"
+	}
+	return "off"
 }

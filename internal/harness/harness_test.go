@@ -96,7 +96,7 @@ func TestClassifierRowOrderCovers(t *testing.T) {
 }
 
 func TestLongRunSmoke(t *testing.T) {
-	res := RunLongRun(2*time.Second, 1, 2, 1)
+	res := RunLongRun(2*time.Second, 1, 2, 1, Ablate{})
 	if res.Report.Stats.Paths == 0 {
 		t.Fatal("long run explored no paths")
 	}
@@ -149,7 +149,7 @@ func TestBaselineComparison(t *testing.T) {
 // exhaustive one-instruction exploration must generate test vectors covering
 // (nearly) every RV32I+Zicsr mnemonic plus the illegal class.
 func TestLongRunCoverage(t *testing.T) {
-	res := RunLongRun(60*time.Second, 1, 2, 1)
+	res := RunLongRun(60*time.Second, 1, 2, 1, Ablate{})
 	if !res.Report.Exhausted {
 		t.Skip("exploration not exhausted within budget; coverage claim not assessable")
 	}

@@ -25,18 +25,19 @@ type LongRunResult struct {
 // RunLongRun performs a budgeted comprehensive exploration of the shipped
 // configuration (all instructions, VP reference), generating a test vector
 // per completed path. Workers > 1 shards the path tree across that many
-// solver contexts (see internal/parexplore).
-func RunLongRun(budget time.Duration, instrLimit, numRegs, workers int) *LongRunResult {
+// solver contexts (see internal/parexplore); ab carries the ablation toggles
+// (-cache=off, -rewrite=off).
+func RunLongRun(budget time.Duration, instrLimit, numRegs, workers int, ab Ablate) *LongRunResult {
 	cfg := cosim.Config{
 		ISS:             iss.VPConfig(),
 		Core:            microrv32.ShippedConfig(),
 		InstrLimit:      instrLimit,
 		NumSymbolicRegs: numRegs,
 	}
-	rep := Explore(cosim.RunFunc(cfg), core.Options{
+	rep := Explore(cosim.RunFunc(cfg), ab.apply(core.Options{
 		MaxTime:       budget,
 		GenerateTests: true,
-	}, workers)
+	}), workers)
 	return &LongRunResult{Report: rep, Budget: budget, Limit: instrLimit, NumRegs: numRegs, Workers: workers}
 }
 
@@ -53,6 +54,12 @@ func (r *LongRunResult) Format() string {
 	fmt.Fprintf(&b, "  test cases         %d\n", len(r.Report.TestVectors)+len(r.Report.Findings))
 	fmt.Fprintf(&b, "  findings           %d\n", len(r.Report.Findings))
 	fmt.Fprintf(&b, "  solver queries     %d\n", s.SolverQueries)
+	fmt.Fprintf(&b, "  SAT-core queries   %d\n", s.CDCLQueries)
+	fmt.Fprintf(&b, "  cache eliminated   %d (stack %d, exact %d, subset %d, superset %d)\n",
+		s.Cache.Eliminated(), s.Cache.StackHits, s.Cache.ExactHits, s.Cache.SubsetSat, s.Cache.SupersetUnsat)
+	fmt.Fprintf(&b, "  sliced queries     %d (%d constraints dropped)\n", s.Cache.SlicedQueries, s.Cache.SlicedDropped)
+	fmt.Fprintf(&b, "  rewrite hits       %d\n", s.RewriteHits)
+	fmt.Fprintf(&b, "  solver unknowns    %d\n", s.SolverUnknowns)
 	fmt.Fprintf(&b, "  exhausted          %v\n", r.Report.Exhausted)
 	return b.String()
 }

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"symriscv/internal/core"
+	"symriscv/internal/querycache"
 )
 
 // unit is one subtree hand-off: a portable decision prefix plus its
@@ -328,6 +329,14 @@ func (c *coord) merge(shards []*core.Shard) *core.Report {
 		if satVars > rep.Stats.SATVars {
 			rep.Stats.SATVars = satVars
 		}
+		// Telemetry (cache- and scheduling-dependent, excluded from the
+		// deterministic report contract): summed over all workers, including
+		// work beyond the canonical cut.
+		ss := sh.SolverStats()
+		rep.Stats.CDCLQueries += ss.Checks
+		rep.Stats.SolverUnknowns += ss.UnknownAns
+		rep.Stats.RewriteHits += sh.RewriteHits()
+		rep.Stats.Cache.Add(sh.CacheStats())
 	}
 
 	// Exhausted mirrors the sequential explorer: false whenever a budget,
@@ -368,12 +377,24 @@ func Explore(run core.RunFunc, opts core.Options, workers int) *core.Report {
 		SolverConflictBudget:  opts.SolverConflictBudget,
 		NoBranchOptimizations: opts.NoBranchOptimizations,
 		GenerateTests:         opts.GenerateTests,
+		NoQueryCache:          opts.NoQueryCache,
+		NoTermRewrites:        opts.NoTermRewrites,
+	}
+	// One read-mostly cache store spans all workers; each shard buffers its
+	// new entries locally and publishes them at hand-off points, so cache
+	// traffic never serialises the hot path.
+	var store *querycache.Shared
+	if !opts.NoQueryCache {
+		store = querycache.NewShared()
 	}
 	shards := make([]*core.Shard, workers)
 	for i := range shards {
 		so := shardOpts
 		so.Seed = opts.Seed + int64(i)
 		shards[i] = core.NewShard(run, so)
+		if store != nil {
+			shards[i].AttachSharedCache(store)
+		}
 	}
 
 	// Seed phase: worker 0's shard explores breadth-first until the frontier
@@ -402,6 +423,9 @@ func Explore(run core.RunFunc, opts core.Options, workers int) *core.Report {
 		}
 		q.put(unit{prefix: prefix, sig: sig})
 	}
+	// Publish the seed phase's cache entries before workers start, so every
+	// worker begins with the shared decode-prefix answers.
+	seed.FlushCache()
 
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
@@ -440,9 +464,13 @@ func workerLoop(sh *core.Shard, q *queue, c *coord, search core.SearchStrategy) 
 			c.record(rec)
 			if sh.Pending() > 1 && q.hungry() {
 				if prefix, sig, ok := sh.Handoff(); ok {
+					// The donated subtree's cached answers travel with it.
+					sh.FlushCache()
 					q.put(unit{prefix: prefix, sig: sig})
 				}
 			}
 		}
+		// Subtree done: publish its cache entries before going idle.
+		sh.FlushCache()
 	}
 }

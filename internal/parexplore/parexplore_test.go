@@ -372,6 +372,89 @@ func classifyKey(t *testing.T, err error) string {
 	return harness.Classify(m).Key()
 }
 
+// TestCacheAblationEquivalence checks the query-elimination layer's
+// determinism contract: the deterministic report fields (statistic totals,
+// finding error strings and canonical path indices, test-vector counts) are
+// byte-identical with the cache on and off, sequentially and at every worker
+// count. Witness values are any-model and excluded; cache and CDCL counters
+// are telemetry and excluded.
+func TestCacheAblationEquivalence(t *testing.T) {
+	run := findingTree(6)
+	base := core.Options{Search: core.SearchDFS, GenerateTests: true}
+	offOpts := base
+	offOpts.NoQueryCache = true
+	offOpts.NoTermRewrites = true
+	ref := core.NewExplorer(run).Explore(offOpts)
+
+	check := func(name string, rep *core.Report) {
+		t.Helper()
+		if !sameStats(ref.Stats, rep.Stats) {
+			t.Errorf("%s: stats diverge\noff: %+v\ngot: %+v", name, ref.Stats, rep.Stats)
+		}
+		if len(rep.Findings) != len(ref.Findings) {
+			t.Fatalf("%s: %d findings, want %d", name, len(rep.Findings), len(ref.Findings))
+		}
+		for i := range ref.Findings {
+			if rep.Findings[i].Err.Error() != ref.Findings[i].Err.Error() ||
+				rep.Findings[i].Path != ref.Findings[i].Path {
+				t.Errorf("%s: finding %d = (%v, path %d), want (%v, path %d)",
+					name, i, rep.Findings[i].Err, rep.Findings[i].Path,
+					ref.Findings[i].Err, ref.Findings[i].Path)
+			}
+		}
+		if len(rep.TestVectors) != len(ref.TestVectors) {
+			t.Errorf("%s: %d test vectors, want %d", name, len(rep.TestVectors), len(ref.TestVectors))
+		}
+		if rep.Exhausted != ref.Exhausted {
+			t.Errorf("%s: exhausted=%v, want %v", name, rep.Exhausted, ref.Exhausted)
+		}
+	}
+
+	check("seq cache on", core.NewExplorer(run).Explore(base))
+	for _, workers := range []int{1, 2, 4} {
+		check(fmt.Sprintf("par cache on/%d workers", workers), parexplore.Explore(run, base, workers))
+		check(fmt.Sprintf("par cache off/%d workers", workers), parexplore.Explore(run, offOpts, workers))
+	}
+}
+
+// TestCosimCacheAblation runs one real co-simulation hunt with the cache on
+// and off and checks the finding's mismatch classification and the
+// deterministic statistics agree (the Table II discipline for ablations).
+func TestCosimCacheAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cosim campaign test")
+	}
+	coreCfg := microrv32.FixedConfig()
+	coreCfg.Faults = faults.Only(faults.E1)
+	cfg := cosim.Config{
+		ISS:        iss.FixedConfig(),
+		Core:       coreCfg,
+		Filter:     cosim.BlockSystemInstructions,
+		InstrLimit: 1,
+	}
+	opts := core.Options{StopOnFirstFinding: true, MaxTime: 120 * time.Second}
+	offOpts := opts
+	offOpts.NoQueryCache = true
+	ref := core.NewExplorer(cosim.RunFunc(cfg)).Explore(offOpts)
+	if len(ref.Findings) != 1 {
+		t.Fatalf("cache off: findings = %d, want 1", len(ref.Findings))
+	}
+	wantKey := classifyKey(t, ref.Findings[0].Err)
+	for _, workers := range []int{1, 2} {
+		par := parexplore.Explore(cosim.RunFunc(cfg), opts, workers)
+		if len(par.Findings) != 1 {
+			t.Fatalf("cache on/%d workers: findings = %d, want 1", workers, len(par.Findings))
+		}
+		if got := classifyKey(t, par.Findings[0].Err); got != wantKey {
+			t.Errorf("cache on/%d workers: mismatch class %q, want %q", workers, got, wantKey)
+		}
+		if !sameStats(ref.Stats, par.Stats) {
+			t.Errorf("cache on/%d workers: stats diverge\noff: %+v\non: %+v",
+				workers, ref.Stats, par.Stats)
+		}
+	}
+}
+
 // TestSigOrderIsFirstComeStable documents the canonical-order invariant the
 // merge relies on (sorted findings are in ascending path-index order).
 func TestSigOrderIsFirstComeStable(t *testing.T) {

@@ -1,0 +1,288 @@
+package querycache
+
+import (
+	"testing"
+
+	"symriscv/internal/smt"
+	"symriscv/internal/solver"
+)
+
+func newLocal(t *testing.T, shared *Shared) (*Local, *smt.Context, *solver.Solver) {
+	t.Helper()
+	ctx := smt.NewContext()
+	sol := solver.New(ctx)
+	return NewLocal(ctx, sol, shared), ctx, sol
+}
+
+// TestStackSeedAndObserve: a seeded model answers queries it satisfies with
+// no solver work, survives trusted replay unconditionally, and is dropped by
+// an untrusted constraint it fails.
+func TestStackSeedAndObserve(t *testing.T) {
+	l, ctx, sol := newLocal(t, nil)
+	a := ctx.Var("a", 8)
+
+	l.BeginPath(Model{"a": 5})
+	c1 := ctx.Ult(a, ctx.BV(8, 10)) // a < 10: model says true
+	if res := l.CheckFeasible([]*smt.Term{}, c1); res != solver.Sat {
+		t.Fatalf("CheckFeasible = %v, want Sat", res)
+	}
+	if l.Stats().StackHits != 1 || l.Stats().CDCL != 0 {
+		t.Fatalf("stats = %+v, want one stack hit, no CDCL", l.Stats())
+	}
+	l.Observe(c1, false)
+
+	// The seed survives a trusted constraint it does not satisfy (replay
+	// contract: the caller vouches for it)...
+	bad := ctx.Ult(ctx.BV(8, 200), a)
+	l.Observe(bad, true)
+	if res := l.CheckFeasible([]*smt.Term{c1, bad}, nil); res != solver.Unsat {
+		// The flip-check form (nil query, pivot = last pc) must consult the
+		// solver here: the seed fails the pivot.
+		t.Fatalf("flip check = %v, want Unsat", res)
+	}
+	// ...and is dropped by the same constraint when untrusted.
+	l.Observe(bad, false)
+	pcs := []*smt.Term{c1}
+	if res := l.CheckFeasible(pcs, c1); res != solver.Sat {
+		t.Fatalf("after drop: CheckFeasible = %v, want Sat", res)
+	}
+	if got := sol.Stats().Checks; got == 0 {
+		t.Fatal("expected the post-drop query to reach the solver")
+	}
+}
+
+// TestIndependenceSlicing: a pivot sharing no variables with the rest of the
+// constraint set is solved on its own component only.
+func TestIndependenceSlicing(t *testing.T) {
+	l, ctx, _ := newLocal(t, nil)
+	a := ctx.Var("a", 8)
+	b := ctx.Var("b", 8)
+	l.BeginPath(nil)
+
+	pcs := []*smt.Term{ctx.Ult(a, ctx.BV(8, 10)), ctx.Ult(ctx.BV(8, 3), a)}
+	pivot := ctx.Eq(b, ctx.BV(8, 7))
+	if res := l.CheckFeasible(pcs, pivot); res != solver.Sat {
+		t.Fatalf("CheckFeasible = %v, want Sat", res)
+	}
+	st := l.Stats()
+	if st.SlicedQueries != 1 || st.SlicedDropped != 2 {
+		t.Fatalf("stats = %+v, want 1 sliced query dropping 2 constraints", st)
+	}
+}
+
+// TestSliceConnectsTransitively: components are closed under shared
+// variables, so a chain a~b, b~c all lands in the pivot's slice.
+func TestSliceConnectsTransitively(t *testing.T) {
+	l, ctx, _ := newLocal(t, nil)
+	a, b, c := ctx.Var("a", 8), ctx.Var("b", 8), ctx.Var("c", 8)
+	d := ctx.Var("d", 8)
+	all := []*smt.Term{
+		ctx.Ult(a, b),
+		ctx.Ult(b, c),
+		ctx.Ult(d, ctx.BV(8, 5)), // independent
+	}
+	pivot := ctx.Ult(c, ctx.BV(8, 9))
+	slice, dropped := l.slice(append(all, pivot), pivot)
+	if len(slice) != 3 || dropped != 1 {
+		t.Fatalf("slice = %d terms, dropped = %d; want 3 and 1", len(slice), dropped)
+	}
+}
+
+// TestFingerprintStableAcrossContexts: structurally identical constraint
+// sets built in different contexts (and listed in different orders) key
+// identically — the property cross-worker sharing rests on.
+func TestFingerprintStableAcrossContexts(t *testing.T) {
+	l1, ctx1, _ := newLocal(t, nil)
+	l2, ctx2, _ := newLocal(t, nil)
+
+	mk := func(ctx *smt.Context) (x, y *smt.Term) {
+		v := ctx.Var("v", 32)
+		w := ctx.Var("w", 32)
+		return ctx.Eq(ctx.Extract(v, 6, 0), ctx.BV(7, 0x13)), ctx.Ult(w, v)
+	}
+	x1, y1 := mk(ctx1)
+	x2, y2 := mk(ctx2)
+
+	k1, _ := l1.fingerprint([]*smt.Term{x1, y1})
+	k2, _ := l2.fingerprint([]*smt.Term{y2, x2})
+	if k1 != k2 {
+		t.Fatal("fingerprints differ across contexts / orders")
+	}
+	k3, _ := l2.fingerprint([]*smt.Term{x2})
+	if k1 == k3 {
+		t.Fatal("distinct sets share a fingerprint")
+	}
+	// A twice-asserted constraint keys like a once-asserted one.
+	k4, _ := l1.fingerprint([]*smt.Term{x1, y1, x1})
+	if k4 != k1 {
+		t.Fatal("duplicate constraint changed the fingerprint")
+	}
+}
+
+// TestExactHit: repeating a query answers from the entry map without a
+// second solver call.
+func TestExactHit(t *testing.T) {
+	l, ctx, sol := newLocal(t, nil)
+	a := ctx.Var("a", 8)
+	l.BeginPath(nil)
+	q := []*smt.Term{ctx.Ult(a, ctx.BV(8, 10)), ctx.Ult(ctx.BV(8, 20), a)}
+	if res := l.CheckFeasible(q[:1], q[1]); res != solver.Unsat {
+		t.Fatalf("first = %v, want Unsat", res)
+	}
+	checks := sol.Stats().Checks
+	if res := l.CheckFeasible(q[:1], q[1]); res != solver.Unsat {
+		t.Fatalf("second = %v, want Unsat", res)
+	}
+	if sol.Stats().Checks != checks {
+		t.Fatal("repeat query reached the solver")
+	}
+	st := l.Stats()
+	if st.ExactHits+st.SupersetUnsat != 1 {
+		t.Fatalf("stats = %+v, want the repeat answered by the cache", st)
+	}
+}
+
+// TestSupersetUnsat: once a set is known unsat, any superset is answered
+// unsat without the solver — including across unrelated extra constraints,
+// via the unsat core.
+func TestSupersetUnsat(t *testing.T) {
+	l, ctx, sol := newLocal(t, nil)
+	a := ctx.Var("a", 8)
+	b := ctx.Var("b", 8)
+	l.BeginPath(nil)
+
+	lo := ctx.Ult(a, ctx.BV(8, 10))
+	hi := ctx.Ult(ctx.BV(8, 20), a)
+	if res := l.CheckFeasible([]*smt.Term{lo}, hi); res != solver.Unsat {
+		t.Fatalf("core query = %v, want Unsat", res)
+	}
+	checks := sol.Stats().Checks
+
+	// Superset with an extra constraint over the same variable (so slicing
+	// cannot remove it): still answered by the unsat subset.
+	extra := ctx.Ult(a, b)
+	if res := l.CheckFeasible([]*smt.Term{lo, extra}, hi); res != solver.Unsat {
+		t.Fatalf("superset query = %v, want Unsat", res)
+	}
+	if sol.Stats().Checks != checks {
+		t.Fatal("superset query reached the solver")
+	}
+	if l.Stats().SupersetUnsat != 1 {
+		t.Fatalf("stats = %+v, want one superset hit", l.Stats())
+	}
+}
+
+// TestModelRevalidation: a cached sat model answers a weaker query over the
+// same variables (the subset-of-known-sat rule).
+func TestModelRevalidation(t *testing.T) {
+	l, ctx, sol := newLocal(t, nil)
+	a := ctx.Var("a", 8)
+	l.BeginPath(nil)
+
+	strict := ctx.Ult(a, ctx.BV(8, 5))
+	if res := l.CheckFeasible(nil, strict); res != solver.Sat {
+		t.Fatalf("first = %v, want Sat", res)
+	}
+	// New path: the stack is reset, so the weaker query cannot stack-hit;
+	// the recorded model must answer it.
+	l.BeginPath(nil)
+	checks := sol.Stats().Checks
+	weak := ctx.Ult(a, ctx.BV(8, 50))
+	if res := l.CheckFeasible(nil, weak); res != solver.Sat {
+		t.Fatalf("weaker = %v, want Sat", res)
+	}
+	if sol.Stats().Checks != checks {
+		t.Fatal("weaker query reached the solver")
+	}
+	if l.Stats().SubsetSat != 1 {
+		t.Fatalf("stats = %+v, want one model-revalidation hit", l.Stats())
+	}
+}
+
+// TestSharedFlushAndAdopt: entries published by one worker answer another
+// worker's queries across distinct term contexts.
+func TestSharedFlushAndAdopt(t *testing.T) {
+	store := NewShared()
+	l1, ctx1, _ := newLocal(t, store)
+	l1.BeginPath(nil)
+	a1 := ctx1.Var("a", 8)
+	if res := l1.CheckFeasible([]*smt.Term{ctx1.Ult(a1, ctx1.BV(8, 10))}, ctx1.Ult(ctx1.BV(8, 20), a1)); res != solver.Unsat {
+		t.Fatalf("worker 1 = %v, want Unsat", res)
+	}
+	if store.Len() != 0 {
+		t.Fatal("entry published before Flush")
+	}
+	l1.Flush()
+	if store.Len() == 0 {
+		t.Fatal("Flush published nothing")
+	}
+
+	l2, ctx2, sol2 := newLocal(t, store)
+	l2.BeginPath(nil)
+	a2 := ctx2.Var("a", 8)
+	if res := l2.CheckFeasible([]*smt.Term{ctx2.Ult(a2, ctx2.BV(8, 10))}, ctx2.Ult(ctx2.BV(8, 20), a2)); res != solver.Unsat {
+		t.Fatalf("worker 2 = %v, want Unsat", res)
+	}
+	if sol2.Stats().Checks != 0 {
+		t.Fatal("worker 2 re-solved a shared answer")
+	}
+	if l2.Stats().ExactHits != 1 {
+		t.Fatalf("worker 2 stats = %+v, want one exact hit", l2.Stats())
+	}
+}
+
+// TestCheckModelPassThrough: model-bearing queries always reach the solver,
+// even when a cached answer exists, so engine-visible model values never
+// depend on cache state.
+func TestCheckModelPassThrough(t *testing.T) {
+	l, ctx, sol := newLocal(t, nil)
+	a := ctx.Var("a", 8)
+	l.BeginPath(Model{"a": 3})
+	c := ctx.Ult(a, ctx.BV(8, 10))
+	if res := l.CheckModel([]*smt.Term{}, c); res != solver.Sat {
+		t.Fatalf("CheckModel = %v, want Sat", res)
+	}
+	if sol.Stats().Checks != 1 {
+		t.Fatalf("solver checks = %d, want 1 (pass-through)", sol.Stats().Checks)
+	}
+	if l.Stats().ModelQueries != 1 || l.Stats().StackHits != 0 {
+		t.Fatalf("stats = %+v, want a model pass-through, no stack hit", l.Stats())
+	}
+}
+
+// TestCheckWitnessCompleteModel: a witness answered from the cache carries a
+// model that satisfies the entire constraint set.
+func TestCheckWitnessCompleteModel(t *testing.T) {
+	l, ctx, _ := newLocal(t, nil)
+	a := ctx.Var("a", 8)
+	l.BeginPath(Model{"a": 4})
+	pcs := []*smt.Term{ctx.Ult(a, ctx.BV(8, 10))}
+	l.Observe(pcs[0], false)
+	cond := ctx.Ult(ctx.BV(8, 2), a)
+	res, m := l.CheckWitness(pcs, cond)
+	if res != solver.Sat || m == nil {
+		t.Fatalf("CheckWitness = (%v, %v), want Sat with a model", res, m)
+	}
+	for _, tm := range append(pcs, cond) {
+		v, err := smt.EvalBool(tm, m)
+		if err != nil || !v {
+			t.Fatalf("witness fails constraint %v", tm)
+		}
+	}
+}
+
+// TestSiblingModelNotPushed: CheckSibling must not leave the sibling's model
+// on this path's stack (the path asserts the opposite direction next).
+func TestSiblingModelNotPushed(t *testing.T) {
+	l, ctx, _ := newLocal(t, nil)
+	a := ctx.Var("a", 8)
+	l.BeginPath(nil)
+	cond := ctx.Ult(a, ctx.BV(8, 10))
+	res, m := l.CheckSibling(nil, ctx.BNot(cond))
+	if res != solver.Sat || m == nil {
+		t.Fatalf("CheckSibling = (%v, %v), want Sat with a complete model", res, m)
+	}
+	if len(l.stack) != 0 {
+		t.Fatalf("stack depth = %d after sibling check, want 0", len(l.stack))
+	}
+}

@@ -147,6 +147,36 @@ func b2u(b bool) uint64 {
 	return 0
 }
 
+// Evaluator evaluates many terms under one fixed environment, keeping the
+// per-term value cache alive between calls. Terms along one exploration path
+// share most of their DAG, so evaluating a stream of path constraints with
+// an Evaluator costs each DAG node once, where repeated Eval calls would
+// re-walk the shared structure every time. The environment must not change
+// behind the Evaluator's back.
+type Evaluator struct {
+	env   Env
+	cache map[*Term]uint64
+}
+
+// NewEvaluator returns an evaluator over the fixed environment env.
+func NewEvaluator(env Env) *Evaluator {
+	return &Evaluator{env: env, cache: make(map[*Term]uint64, 64)}
+}
+
+// Eval computes the concrete value of t, memoized across calls.
+func (e *Evaluator) Eval(t *Term) (uint64, error) {
+	return eval(t, e.env, e.cache)
+}
+
+// EvalBool evaluates a Boolean term, memoized across calls.
+func (e *Evaluator) EvalBool(t *Term) (bool, error) {
+	if !t.IsBool() {
+		return false, fmt.Errorf("smt: EvalBool on bit-vector term")
+	}
+	v, err := eval(t, e.env, e.cache)
+	return v != 0, err
+}
+
 // EvalBool evaluates a Boolean term under env.
 func EvalBool(t *Term, env Env) (bool, error) {
 	if !t.IsBool() {

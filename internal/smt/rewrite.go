@@ -1,0 +1,225 @@
+package smt
+
+// Extended rewrite rules. The constructors in build.go always perform the
+// cheap canonicalisations (constant folding, operand ordering, neutral
+// elements); the rules in this file are the deeper, KLEE-style
+// simplifications that shrink solver queries: comparison narrowing through
+// zero/sign extension, equality splitting over concatenation, solving
+// invertible operations against constants, and comparisons against
+// constant-armed ites collapsing to the ite condition. They run at term
+// build time, behind the hash-consing, and can be switched off per Context
+// for ablation (symv -rewrite=off).
+//
+// Every rule application increments the Context's rewrite-hit counter,
+// surfaced through symv bench as the "rewrite reductions" statistic.
+
+// SetExtendedRewrites enables or disables the extended rewrite rules for
+// terms built from now on. Rules are on by default. Already-interned terms
+// are immutable and unaffected.
+func (c *Context) SetExtendedRewrites(on bool) { c.noExtRewrites = !on }
+
+// ExtendedRewrites reports whether the extended rewrite rules are enabled.
+func (c *Context) ExtendedRewrites() bool { return !c.noExtRewrites }
+
+// RewriteHits returns the number of extended rewrite rule applications.
+func (c *Context) RewriteHits() uint64 { return c.rewriteHits }
+
+// constArms returns the two arm values of an ite over bit-vector constants.
+func constArms(t *Term) (p, q uint64, ok bool) {
+	if t.kind != KIte || !t.args[1].IsConst() || !t.args[2].IsConst() {
+		return 0, 0, false
+	}
+	return t.args[1].val, t.args[2].val, true
+}
+
+// rewriteCmpIte collapses a comparison against a constant-armed ite by
+// evaluating the predicate on both arms: ite(c,p,q) OP k becomes true, false,
+// c or not(c).
+func (c *Context) rewriteCmpIte(ite *Term, pred func(arm uint64) bool) (*Term, bool) {
+	p, q, ok := constArms(ite)
+	if !ok {
+		return nil, false
+	}
+	pv, qv := pred(p), pred(q)
+	c.rewriteHits++
+	switch {
+	case pv && qv:
+		return c.tTrue, true
+	case pv:
+		return ite.args[0], true
+	case qv:
+		return c.BNot(ite.args[0]), true
+	}
+	return c.tFalse, true
+}
+
+// rewriteEqConst simplifies other == cst where cst is a constant and other is
+// a composite term with an invertible or narrowing head operator.
+func (c *Context) rewriteEqConst(other, cst *Term) (*Term, bool) {
+	w := other.Width()
+	switch other.kind {
+	case KZExt:
+		// zext(x) == k: out-of-range k is false, else compare at x's width.
+		x := other.args[0]
+		if cst.val > mask(x.Width()) {
+			c.rewriteHits++
+			return c.tFalse, true
+		}
+		c.rewriteHits++
+		return c.Eq(x, c.BV(x.Width(), cst.val)), true
+	case KSExt:
+		// sext(x) == k: k must be the sign extension of its low bits.
+		x := other.args[0]
+		xw := x.Width()
+		low := cst.val & mask(xw)
+		if SignExt(low, xw)&mask(w) != cst.val {
+			c.rewriteHits++
+			return c.tFalse, true
+		}
+		c.rewriteHits++
+		return c.Eq(x, c.BV(xw, low)), true
+	case KNot:
+		c.rewriteHits++
+		return c.Eq(other.args[0], c.BV(w, ^cst.val)), true
+	case KNeg:
+		c.rewriteHits++
+		return c.Eq(other.args[0], c.BV(w, -cst.val)), true
+	case KXor:
+		// (x ^ k1) == k: xor is self-inverse, solve for x.
+		for i := 0; i < 2; i++ {
+			if other.args[i].IsConst() {
+				c.rewriteHits++
+				return c.Eq(other.args[1-i], c.BV(w, cst.val^other.args[i].val)), true
+			}
+		}
+	case KConcat:
+		// concat(hi,lo) == k splits into two independent narrower equalities.
+		hi, lo := other.args[0], other.args[1]
+		lw := lo.Width()
+		c.rewriteHits++
+		return c.BAnd(
+			c.Eq(hi, c.BV(hi.Width(), cst.val>>uint(lw))),
+			c.Eq(lo, c.BV(lw, cst.val&mask(lw)))), true
+	case KIte:
+		k := cst.val
+		return c.rewriteCmpIte(other, func(arm uint64) bool { return arm == k })
+	}
+	return nil, false
+}
+
+// rewriteEq simplifies equalities whose operands share a head operator that
+// can be peeled (same-width extensions).
+func (c *Context) rewriteEq(a, b *Term) (*Term, bool) {
+	if a.kind == b.kind && (a.kind == KZExt || a.kind == KSExt) &&
+		a.args[0].Width() == b.args[0].Width() {
+		c.rewriteHits++
+		return c.Eq(a.args[0], b.args[0]), true
+	}
+	return nil, false
+}
+
+// rewriteUlt simplifies unsigned a < b through zero extension and
+// constant-armed ites.
+func (c *Context) rewriteUlt(a, b *Term) (*Term, bool) {
+	if a.kind == KZExt && b.kind == KZExt && a.args[0].Width() == b.args[0].Width() {
+		c.rewriteHits++
+		return c.Ult(a.args[0], b.args[0]), true
+	}
+	if b.IsConst() {
+		k := b.val
+		if a.kind == KZExt {
+			x := a.args[0]
+			if k > mask(x.Width()) {
+				c.rewriteHits++
+				return c.tTrue, true
+			}
+			c.rewriteHits++
+			return c.Ult(x, c.BV(x.Width(), k)), true
+		}
+		if t, ok := c.rewriteCmpIte(a, func(arm uint64) bool { return arm < k }); ok {
+			return t, ok
+		}
+	}
+	if a.IsConst() {
+		k := a.val
+		if b.kind == KZExt {
+			x := b.args[0]
+			if k >= mask(x.Width()) {
+				c.rewriteHits++
+				return c.tFalse, true
+			}
+			c.rewriteHits++
+			return c.Ult(c.BV(x.Width(), k), x), true
+		}
+		if t, ok := c.rewriteCmpIte(b, func(arm uint64) bool { return k < arm }); ok {
+			return t, ok
+		}
+	}
+	return nil, false
+}
+
+// rewriteUle simplifies unsigned a <= b through zero extension and
+// constant-armed ites.
+func (c *Context) rewriteUle(a, b *Term) (*Term, bool) {
+	if a.kind == KZExt && b.kind == KZExt && a.args[0].Width() == b.args[0].Width() {
+		c.rewriteHits++
+		return c.Ule(a.args[0], b.args[0]), true
+	}
+	if b.IsConst() {
+		k := b.val
+		if a.kind == KZExt {
+			x := a.args[0]
+			if k >= mask(x.Width()) {
+				c.rewriteHits++
+				return c.tTrue, true
+			}
+			c.rewriteHits++
+			return c.Ule(x, c.BV(x.Width(), k)), true
+		}
+		if t, ok := c.rewriteCmpIte(a, func(arm uint64) bool { return arm <= k }); ok {
+			return t, ok
+		}
+	}
+	if a.IsConst() {
+		k := a.val
+		if b.kind == KZExt {
+			x := b.args[0]
+			if k > mask(x.Width()) {
+				c.rewriteHits++
+				return c.tFalse, true
+			}
+			c.rewriteHits++
+			return c.Ule(c.BV(x.Width(), k), x), true
+		}
+		if t, ok := c.rewriteCmpIte(b, func(arm uint64) bool { return k <= arm }); ok {
+			return t, ok
+		}
+	}
+	return nil, false
+}
+
+// rewriteSCmp simplifies a signed comparison with one constant side against a
+// constant-armed ite. lt selects strict (slt) versus non-strict (sle).
+func (c *Context) rewriteSCmp(a, b *Term, lt bool) (*Term, bool) {
+	w := a.Width()
+	cmp := func(x, y uint64) bool {
+		sx, sy := int64(SignExt(x, w)), int64(SignExt(y, w))
+		if lt {
+			return sx < sy
+		}
+		return sx <= sy
+	}
+	if b.IsConst() {
+		k := b.val
+		if t, ok := c.rewriteCmpIte(a, func(arm uint64) bool { return cmp(arm, k) }); ok {
+			return t, ok
+		}
+	}
+	if a.IsConst() {
+		k := a.val
+		if t, ok := c.rewriteCmpIte(b, func(arm uint64) bool { return cmp(k, arm) }); ok {
+			return t, ok
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,193 @@
+package smt
+
+import "testing"
+
+// testRNG is a seeded splitmix64 generator, keeping math/rand out of the
+// deterministic kernel's test surface and stable across Go releases.
+type testRNG struct{ s uint64 }
+
+func (r *testRNG) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *testRNG) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// buildBV builds a random 32-bit term. Control flow depends only on the PRNG
+// stream and static arguments — never on term contents — so two identically
+// seeded builds in different contexts construct the same term spec even when
+// one context rewrites subterms into different shapes.
+func buildBV(r *testRNG, c *Context, vars []*Term, d int) *Term {
+	if d == 0 || r.intn(4) == 0 {
+		if r.intn(3) == 0 {
+			return c.BV(32, r.next())
+		}
+		return vars[r.intn(len(vars))]
+	}
+	a := buildBV(r, c, vars, d-1)
+	switch r.intn(14) {
+	case 0:
+		return c.Add(a, buildBV(r, c, vars, d-1))
+	case 1:
+		return c.Sub(a, buildBV(r, c, vars, d-1))
+	case 2:
+		return c.And(a, buildBV(r, c, vars, d-1))
+	case 3:
+		return c.Or(a, buildBV(r, c, vars, d-1))
+	case 4:
+		return c.Xor(a, buildBV(r, c, vars, d-1))
+	case 5:
+		return c.Not(a)
+	case 6:
+		return c.Neg(a)
+	case 7:
+		// Constant shifts compose the shift-chain and extract-of-shift rules.
+		return c.Shl(a, c.BV(32, uint64(r.intn(33))))
+	case 8:
+		return c.Lshr(a, c.BV(32, uint64(r.intn(33))))
+	case 9:
+		// Narrow and widen: extract / zext / sext chains.
+		w := 8 + r.intn(9)
+		lo := r.intn(33 - w)
+		sub := c.Extract(a, lo+w-1, lo)
+		if r.intn(2) == 0 {
+			return c.ZExt(sub, 32)
+		}
+		return c.SExt(sub, 32)
+	case 10:
+		// Concat of two extracts (adjacent with probability ~1/2, so the
+		// fusion rule fires on some specimens).
+		cut := 8 + r.intn(16)
+		hi := c.Extract(a, 31, cut)
+		var lo *Term
+		if r.intn(2) == 0 {
+			lo = c.Extract(a, cut-1, 0)
+		} else {
+			lo = c.Extract(buildBV(r, c, vars, d-1), cut-1, 0)
+		}
+		return c.Concat(hi, lo)
+	case 11:
+		// Zero-concat triggers the concat→zext rule.
+		return c.Concat(c.BV(16, 0), c.Extract(a, 15, 0))
+	case 12:
+		return c.Ite(buildBool(r, c, vars, d-1), a, buildBV(r, c, vars, d-1))
+	default:
+		// Const-armed ite feeds the compare-vs-ite collapse rules.
+		return c.Ite(buildBool(r, c, vars, d-1), c.BV(32, r.next()), c.BV(32, r.next()))
+	}
+}
+
+// buildBool builds a random Boolean term exercising the comparison rewrites.
+func buildBool(r *testRNG, c *Context, vars []*Term, d int) *Term {
+	if d == 0 {
+		return c.Bool(r.intn(2) == 0)
+	}
+	a := buildBV(r, c, vars, d-1)
+	var b *Term
+	if r.intn(3) == 0 {
+		b = c.BV(32, r.next()>>uint(r.intn(33))) // biased toward small consts
+	} else {
+		b = buildBV(r, c, vars, d-1)
+	}
+	switch r.intn(8) {
+	case 0:
+		return c.Eq(a, b)
+	case 1:
+		return c.Ult(a, b)
+	case 2:
+		return c.Ule(a, b)
+	case 3:
+		return c.Slt(a, b)
+	case 4:
+		return c.Sle(a, b)
+	case 5:
+		// Narrowed equality: Eq(ZExt/SExt(x), const) rules.
+		n := c.Extract(a, 7, 0)
+		if r.intn(2) == 0 {
+			return c.Eq(c.ZExt(n, 32), b)
+		}
+		return c.Eq(c.SExt(n, 32), b)
+	case 6:
+		return c.BNot(buildBool(r, c, vars, d-1))
+	default:
+		return c.BAnd(buildBool(r, c, vars, d-1), buildBool(r, c, vars, d-1))
+	}
+}
+
+// TestRewriteSoundnessRandomized is the property test behind the extended
+// rewriter: for randomized term specs built identically in a rewrites-on and
+// a rewrites-off context, evaluation agrees under randomized environments —
+// Eval(rewrite(t), env) == Eval(t, env). The seed is fixed, so failures
+// reproduce exactly.
+func TestRewriteSoundnessRandomized(t *testing.T) {
+	const terms = 300
+	const envs = 12
+	envRNG := &testRNG{s: 0xabcdef12345}
+	edge := []uint64{0, 1, 0x7fffffff, 0x80000000, 0xffffffff}
+
+	var hits uint64
+	for iter := 0; iter < terms; iter++ {
+		seed := uint64(iter)*0x9e3779b9 + 1
+		on := NewContext()
+		off := NewContext()
+		off.SetExtendedRewrites(false)
+		mkVars := func(c *Context) []*Term {
+			return []*Term{c.Var("x", 32), c.Var("y", 32), c.Var("z", 32)}
+		}
+		tOn := buildBool(&testRNG{s: seed}, on, mkVars(on), 4)
+		tOff := buildBool(&testRNG{s: seed}, off, mkVars(off), 4)
+		hits += on.RewriteHits()
+
+		for e := 0; e < envs; e++ {
+			var env MapEnv
+			if e < len(edge) {
+				env = MapEnv{"x": edge[e], "y": edge[len(edge)-1-e], "z": edge[e/2]}
+			} else {
+				env = MapEnv{"x": envRNG.next(), "y": envRNG.next(), "z": envRNG.next()}
+			}
+			got, err1 := EvalBool(tOn, env)
+			want, err2 := EvalBool(tOff, env)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("iter %d env %v: eval errors %v / %v", iter, env, err1, err2)
+			}
+			if got != want {
+				t.Fatalf("iter %d (seed %#x) env %v: rewritten term evaluates to %v, original to %v",
+					iter, seed, env, got, want)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no extended rewrites fired over the whole run; the property test exercises nothing")
+	}
+}
+
+// TestRewriteTogglePerContext checks the ablation switch: a context with
+// extended rewrites off reports no hits, and the default context state is on.
+func TestRewriteTogglePerContext(t *testing.T) {
+	off := NewContext()
+	off.SetExtendedRewrites(false)
+	if off.ExtendedRewrites() {
+		t.Fatal("SetExtendedRewrites(false) did not stick")
+	}
+	x := off.Var("x", 32)
+	off.Eq(off.ZExt(off.Extract(x, 7, 0), 32), off.BV(32, 0x1ff))
+	if off.RewriteHits() != 0 {
+		t.Fatal("rewrites fired with the switch off")
+	}
+
+	on := NewContext()
+	if !on.ExtendedRewrites() {
+		t.Fatal("extended rewrites are not on by default")
+	}
+	y := on.Var("y", 32)
+	// ZExt(y8) == 0x1ff is unsatisfiable at the term level: folds to false.
+	if got := on.Eq(on.ZExt(on.Extract(y, 7, 0), 32), on.BV(32, 0x1ff)); got != on.False() {
+		t.Fatalf("out-of-range zext equality did not fold to false: %v", got)
+	}
+	if on.RewriteHits() == 0 {
+		t.Fatal("no rewrite hit recorded")
+	}
+}

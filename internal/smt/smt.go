@@ -172,6 +172,10 @@ type Context struct {
 	fresh      uint64 // counter for FreshVar names
 	vars       []*Term
 	varsByName map[string]*Term
+
+	noExtRewrites bool     // disables the extended rules in rewrite.go
+	rewriteHits   uint64   // extended rewrite rule applications
+	hashMemo      []uint64 // StructuralHash memo, indexed by term ID-1
 }
 
 // NewContext returns an empty term context.

@@ -36,12 +36,15 @@ func (r Result) String() string {
 	return "unknown"
 }
 
-// Stats holds cumulative solver-facade counters.
+// Stats holds cumulative solver-facade counters. UnknownAns counts Check
+// calls that exhausted the conflict budget without an answer; it is always
+// zero when no budget is set.
 type Stats struct {
-	Checks   uint64
-	SatAns   uint64
-	UnsatAns uint64
-	SAT      sat.Stats
+	Checks     uint64
+	SatAns     uint64
+	UnsatAns   uint64
+	UnknownAns uint64
+	SAT        sat.Stats
 }
 
 // Solver decides QF_BV formulas built in one smt.Context.
@@ -91,7 +94,49 @@ func (s *Solver) Check(assumptions ...*smt.Term) Result {
 		s.stats.UnsatAns++
 		return Unsat
 	}
+	s.stats.UnknownAns++
 	return Unknown
+}
+
+// CheckCore is Check plus, on Unsat, the subset of assumption terms the
+// refutation actually used (an unsat core over the assumptions, from the
+// SAT solver's failed-assumption analysis). The core is nil when it is
+// unavailable (clause-set-level conflict) — callers must then fall back to
+// the full assumption set. The query cache records cores instead of full
+// constraint sets, which is what makes its superset-of-unsat rule fire
+// across related queries.
+func (s *Solver) CheckCore(assumptions ...*smt.Term) (Result, []*smt.Term) {
+	lits := make([]sat.Lit, len(assumptions))
+	for i, t := range assumptions {
+		lits[i] = s.bb.LitFor(t)
+	}
+	s.stats.Checks++
+	switch s.sat.Solve(lits...) {
+	case sat.Sat:
+		s.stats.SatAns++
+		return Sat, nil
+	case sat.Unsat:
+		s.stats.UnsatAns++
+		failed := s.sat.FailedAssumptions()
+		if len(failed) == 0 {
+			return Unsat, nil
+		}
+		// FailedAssumptions holds the negations of the responsible
+		// assumption literals.
+		set := make(map[sat.Lit]struct{}, len(failed))
+		for _, l := range failed {
+			set[l] = struct{}{}
+		}
+		core := make([]*smt.Term, 0, len(failed))
+		for i, t := range assumptions {
+			if _, ok := set[lits[i].Neg()]; ok {
+				core = append(core, t)
+			}
+		}
+		return Unsat, core
+	}
+	s.stats.UnknownAns++
+	return Unknown, nil
 }
 
 // ModelValue returns the value of t under the model of the last Sat answer.
@@ -113,8 +158,21 @@ func (s *Solver) ModelValue(t *smt.Term) uint64 {
 // Model returns a complete assignment for every variable of the context,
 // reading encoded variables from the SAT model and defaulting unconstrained
 // ones to zero. Valid after a Sat answer.
+//
+// This walks every variable the context has ever interned — O(context),
+// which grows with the whole exploration. New callers almost always want
+// ModelFor with the variables they actually care about (a path's symbolic
+// inputs, a constraint set's support); reserve Model for offline tooling
+// where the context is small.
 func (s *Solver) Model() smt.MapEnv {
 	return s.ModelFor(s.ctx.Vars())
+}
+
+// VarValue returns the SAT-model value of a single variable after a Sat
+// answer. ok is false when the variable was never encoded into the SAT
+// instance (it is unconstrained; callers conventionally default it to zero).
+func (s *Solver) VarValue(v *smt.Term) (uint64, bool) {
+	return s.bb.ModelValue(v)
 }
 
 // ModelFor returns an assignment restricted to the given variables, reading
