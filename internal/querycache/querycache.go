@@ -58,9 +58,14 @@ func (m Model) Lookup(name string, _ int) (uint64, bool) { return m[name], true 
 
 // Stats counts pipeline outcomes. Queries is the number of feasibility
 // queries entering the pipeline; CDCL is how many of them reached the SAT
-// core; the difference is the hit counters. ModelQueries are the
-// model-bearing queries that always pass through (they are not eligible for
-// elimination and are excluded from Queries).
+// core; the difference is the hit counters, so Queries = Eliminated() + CDCL
+// always reconciles. ModelQueries counts the model-bearing solver calls that
+// always pass through (CheckModel, and CheckWitness's full-witness
+// re-derivation after a partial-model cache answer); those calls appear only
+// here, never in Queries or CDCL. On the re-derivation path one engine query
+// is counted once in Queries (the pipeline run that produced the partial
+// answer) and once in ModelQueries (the pass-through that recovers the full
+// witness) — the total solver work is CDCL + ModelQueries.
 type Stats struct {
 	Queries       uint64 // feasibility queries entering the pipeline
 	StackHits     uint64 // answered sat by a stacked path model
@@ -99,9 +104,12 @@ func (s *Stats) Add(o Stats) {
 // entry is one cached feasibility answer. The key is the canonical
 // fingerprint of the constraint set the answer is for; hs is the sorted,
 // deduplicated structural-hash multiset behind the key; model is a witness
-// restricted to the set's variables (sat entries only). Entries are
-// immutable once created, which is what makes sharing them across workers
-// race-free.
+// restricted to — and total over — the set's support variables, with
+// explicit zeros for variables the solver left unconstrained (sat entries
+// only). Totality is what lets mergeWithStack overlay the model onto a stack
+// base without the base's values leaking into the validated assignment.
+// Entries are immutable once created, which is what makes sharing them
+// across workers race-free.
 type entry struct {
 	key   string
 	hs    []uint64
@@ -309,10 +317,11 @@ func (l *Local) CheckWitness(pcs []*smt.Term, query *smt.Term) (solver.Result, M
 		return res, nil
 	}
 	if res == solver.Sat {
-		// Sat via a partial-model cache hit: re-derive a full witness from
-		// the solver (pass-through, model-bearing).
+		// Sat via a partial-model cache answer: re-derive a full witness from
+		// the solver. This is a model-bearing pass-through, counted in
+		// ModelQueries only — the feasibility query itself was already
+		// accounted (Queries plus a hit counter or CDCL) by check().
 		l.stats.ModelQueries++
-		l.stats.CDCL++
 		full := append(l.scratch[:0], pcs...)
 		if query != nil {
 			full = append(full, query)
@@ -333,7 +342,6 @@ func (l *Local) CheckWitness(pcs []*smt.Term, query *smt.Term) (solver.Result, M
 // the path's stack for later stack hits.
 func (l *Local) CheckModel(pcs []*smt.Term, query *smt.Term) solver.Result {
 	l.stats.ModelQueries++
-	l.stats.CDCL++
 	full := append(l.scratch[:0], pcs...)
 	if query != nil {
 		full = append(full, query)
@@ -405,7 +413,13 @@ func (l *Local) check(pcs []*smt.Term, query *smt.Term, push bool) (solver.Resul
 		}
 		if modelSatisfies(l.recentEv[i], slice) {
 			l.stats.SubsetSat++
-			ne := l.record(key, hs, true, e.model)
+			// The validation read zero for every slice variable absent from
+			// e.model; restrict the model to the slice's support with those
+			// zeros made explicit, so the recorded witness is exactly the
+			// validated assignment and a later mergeWithStack can neither
+			// clobber it with stack-base values nor leak e.model's bindings
+			// for unrelated variables over the base.
+			ne := l.record(key, hs, true, l.restrictToSupport(slice, e.model))
 			return l.hitResult(ne, dropped, push)
 		}
 	}
@@ -456,12 +470,15 @@ func (l *Local) hitResult(e *entry, dropped int, push bool) (solver.Result, Mode
 	return solver.Sat, merged, complete
 }
 
-// mergeWithStack overlays a slice-restricted model onto the newest stacked
-// model. The slice is a union of whole variable-sharing components, so its
-// variables are disjoint from the variables of the remaining constraints:
-// overlaying cannot break the base model's satisfaction of the rest. The
-// result covers the entire constraint set when a base exists or when the
-// slice was the whole set (sliceIsAll).
+// mergeWithStack overlays a slice model onto the newest stacked model. env
+// must be restricted to and total over the slice's support (the invariant
+// record and captureModel maintain): restricted, so overlaying cannot
+// disturb the base's values outside the slice — the slice is a union of
+// whole variable-sharing components, disjoint from the remaining
+// constraints' variables; total, so the base cannot supply a value for a
+// slice variable that env's validation read as zero. The result covers the
+// entire constraint set when a base exists or when the slice was the whole
+// set (sliceIsAll).
 func (l *Local) mergeWithStack(env Model, sliceIsAll bool) (Model, bool) {
 	if n := len(l.stack); n > 0 {
 		base := l.stack[n-1].env
@@ -499,8 +516,10 @@ func (l *Local) pushSolverModel(full []*smt.Term) {
 	l.push(l.captureModel(full))
 }
 
-// captureModel reads the solver model restricted to the support variables of
-// the given constraints.
+// captureModel reads the solver model restricted to — and total over — the
+// support variables of the given constraints. Variables the solver never
+// encoded read zero and are recorded explicitly, so the model stays a valid
+// witness after mergeWithStack overlays it onto a stack base.
 func (l *Local) captureModel(ts []*smt.Term) Model {
 	seen := l.seenVar
 	clear(seen)
@@ -512,13 +531,32 @@ func (l *Local) captureModel(ts []*smt.Term) Model {
 			}
 			seen[id] = struct{}{}
 			v := l.ctx.TermByID(id)
-			if mv, ok := l.sol.VarValue(v); ok {
-				env[v.Name()] = mv
-			}
-			// Unencoded variables default to zero — Model's zero default.
+			mv, _ := l.sol.VarValue(v)
+			env[v.Name()] = mv
 		}
 	}
 	return env
+}
+
+// restrictToSupport returns a copy of env restricted to — and made total
+// over — the support of ts: every support variable gets an explicit value,
+// env's when present and zero otherwise, matching the zero default the
+// stage-5 validation evaluated absent variables under.
+func (l *Local) restrictToSupport(ts []*smt.Term, env Model) Model {
+	seen := l.seenVar
+	clear(seen)
+	out := make(Model, len(env))
+	for _, t := range ts {
+		for _, id := range l.supportOf(t) {
+			if _, ok := seen[id]; ok {
+				continue
+			}
+			seen[id] = struct{}{}
+			name := l.ctx.TermByID(id).Name()
+			out[name] = env[name]
+		}
+	}
+	return out
 }
 
 // record creates, indexes and schedules for publication a new cache entry.

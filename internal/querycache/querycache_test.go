@@ -271,6 +271,81 @@ func TestCheckWitnessCompleteModel(t *testing.T) {
 	}
 }
 
+// TestSubsetSatMergeKeepsValidatedZeros: a stage-5 hit validates the cached
+// model with zero defaults for slice variables the model lacks; merging over
+// the stack base must preserve those validated zeros rather than inherit the
+// base's values (base {x:2}, cached model {y:1}, query x==0 must not yield
+// the non-witness {x:2, y:1}).
+func TestSubsetSatMergeKeepsValidatedZeros(t *testing.T) {
+	l, ctx, _ := newLocal(t, nil)
+	x := ctx.Var("x", 8)
+	y := ctx.Var("y", 8)
+
+	// Seed the recent-entry ring with a sat entry whose model binds only y.
+	l.BeginPath(nil)
+	if res := l.CheckFeasible(nil, ctx.Ult(ctx.BV(8, 0), y)); res != solver.Sat {
+		t.Fatalf("seed query = %v, want Sat", res)
+	}
+
+	// New path: constraint x < 10, stacked model {x:2}.
+	pcs := []*smt.Term{ctx.Ult(x, ctx.BV(8, 10))}
+	l.BeginPath(Model{"x": 2})
+	l.Observe(pcs[0], false)
+
+	// Sibling query x == 0: the stack model fails it; the cached y-model
+	// satisfies the slice only under its zero default for x. The returned
+	// seed must still be a genuine witness of pcs ∧ query.
+	q := ctx.Eq(x, ctx.BV(8, 0))
+	res, m := l.CheckSibling(pcs, q)
+	if res != solver.Sat {
+		t.Fatalf("CheckSibling = %v, want Sat", res)
+	}
+	if st := l.Stats(); st.SubsetSat != 1 {
+		t.Fatalf("stats = %+v, want the sibling answered by model revalidation", st)
+	}
+	if m == nil {
+		t.Fatal("CheckSibling returned no seed model")
+	}
+	for _, tm := range append(pcs, q) {
+		if v, err := smt.EvalBool(tm, m); err != nil || !v {
+			t.Fatalf("seed model %v fails constraint %v", m, tm)
+		}
+	}
+	if _, ok := m["y"]; ok {
+		t.Fatalf("seed model %v leaks the cached entry's binding for y, outside the slice support", m)
+	}
+}
+
+// TestWitnessFallbackAccounting: the full-witness re-derivation after a
+// partial-model answer is counted in ModelQueries only, so the identity
+// Queries = Eliminated + CDCL still reconciles on the fallback path.
+func TestWitnessFallbackAccounting(t *testing.T) {
+	l, ctx, sol := newLocal(t, nil)
+	a := ctx.Var("a", 8)
+	b := ctx.Var("b", 8)
+	l.BeginPath(nil)
+
+	// The pivot's slice excludes the a-constraint and no stack model exists,
+	// so check() answers Sat with a partial model and CheckWitness must
+	// re-derive the full witness from the solver.
+	pcs := []*smt.Term{ctx.Ult(a, ctx.BV(8, 10))}
+	cond := ctx.Ult(b, ctx.BV(8, 5))
+	res, _ := l.CheckWitness(pcs, cond)
+	if res != solver.Sat {
+		t.Fatalf("CheckWitness = %v, want Sat", res)
+	}
+	st := l.Stats()
+	if st.Queries != st.Eliminated()+st.CDCL {
+		t.Fatalf("stats = %+v: Queries != Eliminated + CDCL", st)
+	}
+	if st.ModelQueries != 1 || st.CDCL != 1 {
+		t.Fatalf("stats = %+v, want one model pass-through and one CDCL query", st)
+	}
+	if got := sol.Stats().Checks; got != 2 {
+		t.Fatalf("solver checks = %d, want 2 (sliced feasibility + full witness)", got)
+	}
+}
+
 // TestSiblingModelNotPushed: CheckSibling must not leave the sibling's model
 // on this path's stack (the path asserts the opposite direction next).
 func TestSiblingModelNotPushed(t *testing.T) {
