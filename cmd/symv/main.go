@@ -4,27 +4,40 @@
 //
 // Usage:
 //
-//	symv table1  [-probe-time 60s] [-max-paths 5000] [-workers N]
-//	symv table2  [-cell-time 60s] [-limits 1,2] [-faults E0,E3] [-workers N]
-//	symv hunt    [-fault E6] [-limit 1] [-shipped] [-regs 2] [-time 60s] [-workers N] [-cache on|off] [-rewrite on|off]
-//	symv longrun [-budget 30s] [-limit 1] [-regs 2] [-workers N] [-cache on|off] [-rewrite on|off]
-//	symv ablation [-kind regs|limit] [-budget 30s] [-workers N]
-//	symv bench   [-budget 10s] [-workers N] [-json BENCH_explore.json] [-quick] [-ablate] [-cache on|off] [-rewrite on|off]
+//	symv table1  [-probe-time 60s] [-max-paths 5000] [shared flags]
+//	symv table2  [-cell-time 60s] [-limits 1,2] [-faults E0,E3] [shared flags]
+//	symv hunt    [-fault E6] [-limit 1] [-shipped] [-regs 2] [-time 60s] [shared flags]
+//	symv longrun [-budget 30s] [-limit 1] [-regs 2] [-coverage] [shared flags]
+//	symv ablation [-kind regs|limit] [-budget 30s] [shared flags]
+//	symv bench   [-budget 10s] [-quick] [-ablate] [-json-file BENCH_explore.json] [shared flags]
+//	symv baseline [-cell-time 20s] [-trials 200000] [shared flags]
+//	symv replay  [-fault E6] [-cycle-trace] [shared flags] name=hexvalue ...
+//	symv trace   [-top 8] TRACE.jsonl
+//	symv lint-table [-v]
 //
-// -workers N shards each exploration's path tree across N solver contexts
-// (default GOMAXPROCS); results are identical to -workers 1 by construction
-// (see internal/parexplore).
+// Every subcommand accepts the shared flag group:
 //
-// -cache=off disables the query-elimination layer (stack models, independence
-// slicing, feasibility caching) and -rewrite=off the extended term rewrites;
-// both are ablation switches — reports are identical on and off by
-// construction, only the solver work changes (see internal/querycache).
+//	-workers N     shard each exploration's path tree across N solver
+//	               contexts (default GOMAXPROCS); results are identical to
+//	               -workers 1 by construction (see internal/parexplore)
+//	-cache on|off  query-elimination layer (stack models, independence
+//	               slicing, feasibility caching)
+//	-rewrite on|off extended term rewrites ahead of bit-blasting
+//	-json          emit machine-readable JSON instead of the table
+//	-trace FILE    write a JSONL span/counter trace (inspect with symv trace)
+//	-metrics       print the aggregated per-phase table to stderr afterwards
+//
+// -cache=off and -rewrite=off are ablation switches — reports are identical
+// on and off by construction, only the solver work changes (see
+// internal/querycache). -trace and -metrics are side channels: they never
+// change a report either (see internal/obs).
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -40,6 +53,7 @@ import (
 	"symriscv/internal/harness"
 	"symriscv/internal/iss"
 	"symriscv/internal/microrv32"
+	"symriscv/internal/obs"
 )
 
 func main() {
@@ -65,6 +79,8 @@ func main() {
 		err = cmdBaseline(os.Args[2:])
 	case "replay":
 		err = cmdReplay(os.Args[2:])
+	case "trace":
+		err = cmdTrace(os.Args[2:])
 	case "lint-table":
 		err = cmdLintTable(os.Args[2:])
 	case "-h", "--help", "help":
@@ -92,28 +108,111 @@ commands:
   bench     exploration throughput and time-to-bug at workers=1 vs N
   baseline  compare symbolic execution against fuzzing baselines
   replay    re-execute a test vector (name=hexvalue pairs) against a fault
-  lint-table  statically verify the decode table (clean + all fault configs)`)
+  trace     digest a JSONL observability trace (from -trace FILE)
+  lint-table  statically verify the decode table (clean + all fault configs)
+
+shared flags (every exploration command):
+  -workers N  -cache on|off  -rewrite on|off  -json  -trace FILE  -metrics`)
+}
+
+// sharedFlags is the flag group every exploration subcommand registers: the
+// worker count, the two ablation toggles, machine-readable output, and the
+// observability sinks. It maps one-to-one onto harness.Common.
+type sharedFlags struct {
+	workers *int
+	cache   *string
+	rewrite *string
+	jsonOut *bool
+	trace   *string
+	metrics *bool
+}
+
+// sharedGroup registers the shared flag group on a subcommand's flag set.
+func sharedGroup(fs *flag.FlagSet) *sharedFlags {
+	return &sharedFlags{
+		workers: fs.Int("workers", runtime.GOMAXPROCS(0),
+			"parallel exploration workers per exploration (1 = sequential; results are worker-count independent)"),
+		cache:   fs.String("cache", "on", "query-elimination layer (stack models, slicing, feasibility cache): on | off"),
+		rewrite: fs.String("rewrite", "on", "extended term rewrites ahead of bit-blasting: on | off"),
+		jsonOut: fs.Bool("json", false, "emit machine-readable JSON instead of the table"),
+		trace:   fs.String("trace", "", "write a JSONL span/counter trace to this file (inspect with symv trace)"),
+		metrics: fs.Bool("metrics", false, "print the aggregated counter/phase table to stderr after the run"),
+	}
+}
+
+// build validates the group and opens the observability sinks. The returned
+// finish func closes the recorder (flushing the trace file) and prints the
+// -metrics table; call it after the campaign, before emitting results is
+// fine too since both sinks bypass stdout.
+func (g *sharedFlags) build(cmd string) (harness.Common, func() error, error) {
+	c := harness.Common{Workers: *g.workers}
+	var ok bool
+	if c.Cache, ok = harness.ParseToggle(*g.cache); !ok {
+		return c, nil, fmt.Errorf("bad -cache=%q (want on or off)", *g.cache)
+	}
+	if c.Rewrite, ok = harness.ParseToggle(*g.rewrite); !ok {
+		return c, nil, fmt.Errorf("bad -rewrite=%q (want on or off)", *g.rewrite)
+	}
+	var traceFile *os.File
+	if *g.trace != "" || *g.metrics {
+		var w io.Writer
+		if *g.trace != "" {
+			f, err := os.Create(*g.trace)
+			if err != nil {
+				return c, nil, err
+			}
+			traceFile = f
+			w = f
+		}
+		c.Obs = obs.New(obs.Options{Trace: w, Label: "symv " + cmd})
+	}
+	finish := func() error {
+		if c.Obs == nil {
+			return nil
+		}
+		closeErr := c.Obs.Close()
+		if *g.metrics {
+			fmt.Fprint(os.Stderr, c.Obs.FormatSnapshot())
+		}
+		if closeErr != nil {
+			return closeErr
+		}
+		if traceFile != nil {
+			if err := traceFile.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "trace written to %s (inspect with: symv trace %s)\n", *g.trace, *g.trace)
+		}
+		return nil
+	}
+	return c, finish, nil
 }
 
 func cmdTable1(args []string) error {
 	fs := flag.NewFlagSet("table1", flag.ExitOnError)
 	probeTime := fs.Duration("probe-time", 60*time.Second, "exploration budget per probe scenario")
 	maxPaths := fs.Int("max-paths", 5000, "path budget per probe scenario")
-	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of the table")
-	workers := workersFlag(fs)
+	shared := sharedGroup(fs)
 	fs.Parse(args)
 
+	common, finish, err := shared.build("table1")
+	if err != nil {
+		return err
+	}
 	res := harness.RunTable1(harness.Table1Options{
 		PerProbeTime:     *probeTime,
 		PerProbeMaxPaths: *maxPaths,
-		Workers:          *workers,
+		Common:           common,
 	})
-	if *jsonOut {
-		return json.NewEncoder(os.Stdout).Encode(res)
+	if *shared.jsonOut {
+		if err := json.NewEncoder(os.Stdout).Encode(res); err != nil {
+			return err
+		}
+		return finish()
 	}
 	fmt.Print(res.Format())
 	fmt.Printf("campaign wall time: %s\n", res.Elapsed.Round(time.Millisecond))
-	return nil
+	return finish()
 }
 
 func cmdTable2(args []string) error {
@@ -122,9 +221,8 @@ func cmdTable2(args []string) error {
 	limitsArg := fs.String("limits", "1,2", "comma-separated instruction limits")
 	faultsArg := fs.String("faults", "", "comma-separated fault subset (default all)")
 	parallel := fs.Int("parallel", 1, "concurrent cells (each with its own solver)")
-	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of the table")
 	dutArg := fs.String("dut", "microrv32", "device under test: microrv32 | pipeline")
-	workers := workersFlag(fs)
+	shared := sharedGroup(fs)
 	fs.Parse(args)
 
 	var dut harness.DUTKind
@@ -148,20 +246,55 @@ func cmdTable2(args []string) error {
 			return err
 		}
 	}
+	common, finish, err := shared.build("table2")
+	if err != nil {
+		return err
+	}
 	res := harness.RunTable2(harness.Table2Options{
 		PerCellTime: *cellTime,
 		Limits:      limits,
 		Faults:      fset,
 		Parallel:    *parallel,
-		Workers:     *workers,
 		DUT:         dut,
+		Common:      common,
 	})
-	if *jsonOut {
-		return json.NewEncoder(os.Stdout).Encode(res)
+	if *shared.jsonOut {
+		if err := json.NewEncoder(os.Stdout).Encode(res); err != nil {
+			return err
+		}
+		return finish()
 	}
 	fmt.Print(res.Format())
 	fmt.Printf("campaign wall time: %s\n", res.Elapsed.Round(time.Millisecond))
-	return nil
+	return finish()
+}
+
+// findingJSON is the marshal-friendly view of a core.Finding: the error is
+// rendered to a string (error values don't marshal usefully).
+type findingJSON struct {
+	Path   int
+	Err    string
+	Inputs smt.MapEnv `json:",omitempty"`
+}
+
+// reportJSON is the marshal-friendly view of a core.Report.
+type reportJSON struct {
+	Stats       core.Stats
+	Exhausted   bool
+	Findings    []findingJSON `json:",omitempty"`
+	TestVectors int           `json:",omitempty"` // count; vectors are bulky
+}
+
+func toReportJSON(r *core.Report) reportJSON {
+	out := reportJSON{
+		Stats:       r.Stats,
+		Exhausted:   r.Exhausted,
+		TestVectors: len(r.TestVectors),
+	}
+	for _, f := range r.Findings {
+		out.Findings = append(out.Findings, findingJSON{Path: f.Path, Err: f.Err.Error(), Inputs: f.Inputs})
+	}
+	return out
 }
 
 func cmdHunt(args []string) error {
@@ -177,15 +310,14 @@ func cmdHunt(args []string) error {
 	progress := fs.Bool("progress", false, "print live exploration statistics")
 	irq := fs.Bool("interrupts", false, "drive a symbolic external-interrupt line")
 	irqBug := fs.Bool("mie-bug", false, "inject the missing-MIE-gate interrupt fault")
-	workers := workersFlag(fs)
-	cacheArg, rewriteArg := ablateFlags(fs)
+	shared := sharedGroup(fs)
 	fs.Parse(args)
 
 	strategy, err := parseSearch(*search)
 	if err != nil {
 		return err
 	}
-	ab, err := parseAblate(*cacheArg, *rewriteArg)
+	common, finish, err := shared.build("hunt")
 	if err != nil {
 		return err
 	}
@@ -225,18 +357,22 @@ func cmdHunt(args []string) error {
 		MaxTime:            *budget,
 		Search:             strategy,
 		Seed:               *seed,
-		NoQueryCache:       ab.NoQueryCache,
-		NoTermRewrites:     ab.NoTermRewrites,
 	}
 	if *progress {
 		opts.Progress = func(s core.Stats) { fmt.Fprintf(os.Stderr, "  ... %v\n", s) }
 	}
-	rep := harness.Explore(cosim.RunFunc(cfg), opts, *workers)
+	rep := harness.ExploreWith(cosim.RunFunc(cfg), harness.ExploreOptions{Common: common, Core: opts})
 
+	if *shared.jsonOut {
+		if err := json.NewEncoder(os.Stdout).Encode(toReportJSON(rep)); err != nil {
+			return err
+		}
+		return finish()
+	}
 	fmt.Printf("exploration: %v (exhausted=%v)\n", rep.Stats, rep.Exhausted)
 	if len(rep.Findings) == 0 {
 		fmt.Println("no mismatch found")
-		return nil
+		return finish()
 	}
 	for i, f := range rep.Findings {
 		fmt.Printf("finding %d: %v\n", i+1, f.Err)
@@ -247,7 +383,7 @@ func cmdHunt(args []string) error {
 			}
 		}
 	}
-	return nil
+	return finish()
 }
 
 func cmdLongRun(args []string) error {
@@ -256,41 +392,71 @@ func cmdLongRun(args []string) error {
 	limit := fs.Int("limit", 1, "instruction limit")
 	regs := fs.Int("regs", 2, "symbolic register slice size")
 	coverage := fs.Bool("coverage", false, "print test-set instruction coverage")
-	workers := workersFlag(fs)
-	cacheArg, rewriteArg := ablateFlags(fs)
+	shared := sharedGroup(fs)
 	fs.Parse(args)
 
-	ab, err := parseAblate(*cacheArg, *rewriteArg)
+	common, finish, err := shared.build("longrun")
 	if err != nil {
 		return err
 	}
-	res := harness.RunLongRun(*budget, *limit, *regs, *workers, ab)
+	common.Budget = *budget
+	res := harness.LongRun(harness.LongRunOptions{Common: common, InstrLimit: *limit, NumRegs: *regs})
+	if *shared.jsonOut {
+		doc := struct {
+			BudgetSecs float64
+			Limit      int
+			NumRegs    int
+			Workers    int
+			Report     reportJSON
+		}{res.Budget.Seconds(), res.Limit, res.NumRegs, res.Workers, toReportJSON(res.Report)}
+		if err := json.NewEncoder(os.Stdout).Encode(doc); err != nil {
+			return err
+		}
+		return finish()
+	}
 	fmt.Print(res.Format())
 	if *coverage {
 		cov := harness.Coverage(harness.TestSetInputs(res.Report))
 		fmt.Print(cov.Format())
 	}
-	return nil
+	return finish()
 }
 
 func cmdAblation(args []string) error {
 	fs := flag.NewFlagSet("ablation", flag.ExitOnError)
 	kind := fs.String("kind", "regs", "ablation kind: regs | limit")
 	budget := fs.Duration("budget", 15*time.Second, "budget per configuration point")
-	workers := workersFlag(fs)
+	shared := sharedGroup(fs)
 	fs.Parse(args)
 
+	common, finish, err := shared.build("ablation")
+	if err != nil {
+		return err
+	}
+	common.Budget = *budget
 	switch *kind {
 	case "regs":
-		res := harness.RunRegSliceAblation(nil, *budget, 0, *workers)
+		res := harness.RegAblation(harness.RegAblationOptions{Common: common})
+		if *shared.jsonOut {
+			if err := json.NewEncoder(os.Stdout).Encode(res); err != nil {
+				return err
+			}
+			return finish()
+		}
 		fmt.Print(res.Format())
 	case "limit":
-		pts := harness.RunLimitAblation([]int{1, 2}, *budget, 0, *workers)
+		pts := harness.LimitAblation(harness.LimitAblationOptions{Common: common, Limits: []int{1, 2}})
+		if *shared.jsonOut {
+			if err := json.NewEncoder(os.Stdout).Encode(pts); err != nil {
+				return err
+			}
+			return finish()
+		}
 		fmt.Print(harness.FormatLimitAblation(pts))
 	default:
 		return fmt.Errorf("unknown ablation kind %q", *kind)
 	}
-	return nil
+	return finish()
 }
 
 func cmdBaseline(args []string) error {
@@ -299,6 +465,7 @@ func cmdBaseline(args []string) error {
 	trials := fs.Int("trials", 200000, "fuzzing trial budget per cell")
 	faultsArg := fs.String("faults", "", "comma-separated fault subset (default all)")
 	seed := fs.Int64("seed", 1, "fuzzing seed")
+	shared := sharedGroup(fs)
 	fs.Parse(args)
 
 	var fset []faults.Fault
@@ -309,15 +476,26 @@ func cmdBaseline(args []string) error {
 			return err
 		}
 	}
+	common, finish, err := shared.build("baseline")
+	if err != nil {
+		return err
+	}
 	res := harness.RunBaseline(harness.BaselineOptions{
 		PerCellTime: *cellTime,
 		MaxTrials:   *trials,
 		Faults:      fset,
 		Seed:        *seed,
+		Common:      common,
 	})
+	if *shared.jsonOut {
+		if err := json.NewEncoder(os.Stdout).Encode(res); err != nil {
+			return err
+		}
+		return finish()
+	}
 	fmt.Print(res.Format())
 	fmt.Printf("campaign wall time: %s\n", res.Elapsed.Round(time.Millisecond))
-	return nil
+	return finish()
 }
 
 func cmdReplay(args []string) error {
@@ -325,7 +503,8 @@ func cmdReplay(args []string) error {
 	faultArg := fs.String("fault", "", "fault to inject (E0..E9); empty = none")
 	limit := fs.Int("limit", 1, "instruction limit")
 	shipped := fs.Bool("shipped", false, "use the as-shipped core and VP")
-	trace := fs.Bool("trace", false, "print a per-cycle execution trace")
+	cycleTrace := fs.Bool("cycle-trace", false, "print a per-cycle execution trace")
+	shared := sharedGroup(fs)
 	fs.Parse(args)
 
 	vector := make(smt.MapEnv)
@@ -357,56 +536,73 @@ func cmdReplay(args []string) error {
 		}
 		coreCfg.Faults = faults.Of(fv...)
 	}
-	cfg := cosim.Config{ISS: issCfg, Core: coreCfg, InstrLimit: *limit}
-	if *trace {
-		cfg.Trace = os.Stdout
-	}
-	m, err := cosim.Replay(cfg, vector)
+	common, finish, err := shared.build("replay")
 	if err != nil {
 		return err
 	}
+	cfg := cosim.Config{ISS: issCfg, Core: coreCfg, InstrLimit: *limit, Pin: vector}
+	if *cycleTrace {
+		cfg.Trace = os.Stdout
+	}
+	// A fully pinned vector collapses to one path; 16 bounds partial vectors.
+	rep := harness.ExploreWith(cosim.RunFunc(cfg), harness.ExploreOptions{
+		Common: common,
+		Core:   core.Options{StopOnFirstFinding: true, MaxPaths: 16},
+	})
+	var m *cosim.Mismatch
+	if len(rep.Findings) > 0 {
+		var ok bool
+		if m, ok = rep.Findings[0].Err.(*cosim.Mismatch); !ok {
+			return rep.Findings[0].Err
+		}
+	}
+	if *shared.jsonOut {
+		doc := struct {
+			Reproduced bool
+			Mismatch   string `json:",omitempty"`
+		}{}
+		if m != nil {
+			doc.Reproduced = true
+			doc.Mismatch = m.Error()
+		}
+		if err := json.NewEncoder(os.Stdout).Encode(doc); err != nil {
+			return err
+		}
+		return finish()
+	}
 	if m == nil {
 		fmt.Println("vector reproduces no mismatch")
-		return nil
+		return finish()
 	}
 	fmt.Printf("reproduced: %v\n", m)
+	return finish()
+}
+
+// cmdTrace digests a JSONL observability trace written by -trace FILE: the
+// top phases by cumulative time, the duration histogram per phase, and the
+// counter/gauge totals.
+func cmdTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	top := fs.Int("top", 8, "show the top N phases by cumulative time (0 = all)")
+	jsonOut := fs.Bool("json", false, "emit the digest as JSON instead of the tables")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: symv trace [-top N] TRACE.jsonl")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sum, err := obs.ReadSummary(f)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return json.NewEncoder(os.Stdout).Encode(sum)
+	}
+	fmt.Print(sum.Format(*top))
 	return nil
-}
-
-// workersFlag registers the shared -workers flag: how many solver contexts
-// each exploration is sharded across (1 = the sequential explorer).
-func workersFlag(fs *flag.FlagSet) *int {
-	return fs.Int("workers", runtime.GOMAXPROCS(0),
-		"parallel exploration workers per exploration (1 = sequential; results are worker-count independent)")
-}
-
-// ablateFlags registers the shared query-elimination ablation flags. Reports
-// (paths, findings, engine queries) are identical on and off by construction;
-// the toggles exist to measure what the elimination layer buys.
-func ablateFlags(fs *flag.FlagSet) (cache, rewrite *string) {
-	cache = fs.String("cache", "on", "query-elimination layer (stack models, slicing, feasibility cache): on | off")
-	rewrite = fs.String("rewrite", "on", "extended term rewrites ahead of bit-blasting: on | off")
-	return cache, rewrite
-}
-
-func parseAblate(cache, rewrite string) (harness.Ablate, error) {
-	var ab harness.Ablate
-	var err error
-	if ab.NoQueryCache, err = offSwitch("cache", cache); err != nil {
-		return ab, err
-	}
-	ab.NoTermRewrites, err = offSwitch("rewrite", rewrite)
-	return ab, err
-}
-
-func offSwitch(name, v string) (bool, error) {
-	switch strings.ToLower(v) {
-	case "on", "":
-		return false, nil
-	case "off":
-		return true, nil
-	}
-	return false, fmt.Errorf("bad -%s=%q (want on or off)", name, v)
 }
 
 func cmdBench(args []string) error {
@@ -414,23 +610,20 @@ func cmdBench(args []string) error {
 	budget := fs.Duration("budget", 10*time.Second, "throughput budget per worker count")
 	huntTime := fs.Duration("hunt-time", 30*time.Second, "time-to-bug budget per fault")
 	faultsArg := fs.String("faults", "", "comma-separated time-to-bug faults (default E1,E5,E6)")
-	jsonPath := fs.String("json", "", "also write the machine-readable report to this file")
+	jsonPath := fs.String("json-file", "", "also write the machine-readable report to this file")
 	quick := fs.Bool("quick", false, "CI smoke mode: 2s budgets, one fault")
-	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
-		"parallel worker count compared against workers=1 (floored at 2)")
-	cacheArg, rewriteArg := ablateFlags(fs)
 	ablate := fs.Bool("ablate", false, "run the cache-on/cache-off equivalence check even outside -quick")
+	shared := sharedGroup(fs)
 	fs.Parse(args)
 
-	ab, err := parseAblate(*cacheArg, *rewriteArg)
+	common, finish, err := shared.build("bench")
 	if err != nil {
 		return err
 	}
+	common.Budget = *budget
 	opt := harness.BenchOptions{
-		Workers:       *workers,
-		Budget:        *budget,
+		Common:        common,
 		HuntTime:      *huntTime,
-		Ablate:        ab,
 		CacheAblation: *ablate,
 	}
 	if *faultsArg != "" {
@@ -450,7 +643,13 @@ func cmdBench(args []string) error {
 		opt.CacheAblation = true
 	}
 	res := harness.RunBench(opt)
-	fmt.Print(res.Format())
+	if *shared.jsonOut {
+		if err := json.NewEncoder(os.Stdout).Encode(res); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(res.Format())
+	}
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
@@ -465,7 +664,10 @@ func cmdBench(args []string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", *jsonPath)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+	}
+	if err := finish(); err != nil {
+		return err
 	}
 	if res.Ablation != nil && !res.Ablation.Match {
 		return fmt.Errorf("bench: cache ablation mismatch: %s", res.Ablation.Mismatch)
@@ -537,16 +739,25 @@ func sortedKeys(m map[string]uint64) []string {
 func cmdLintTable(args []string) error {
 	fs := flag.NewFlagSet("lint-table", flag.ExitOnError)
 	verbose := fs.Bool("v", false, "print the full report for every configuration")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of the report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	reps := decodecheck.CheckAll()
+	if *jsonOut {
+		if err := json.NewEncoder(os.Stdout).Encode(reps); err != nil {
+			return err
+		}
+	}
 	fail := 0
-	for _, rep := range decodecheck.CheckAll() {
-		if *verbose || !rep.OK() || len(rep.Deviation) > 0 {
-			fmt.Print(rep.Format())
-		} else {
-			fmt.Printf("decode-table check [%s]: OK (%d rows, %d words cross-checked)\n",
-				rep.Config, rep.Rows, rep.Checked)
+	for _, rep := range reps {
+		if !*jsonOut {
+			if *verbose || !rep.OK() || len(rep.Deviation) > 0 {
+				fmt.Print(rep.Format())
+			} else {
+				fmt.Printf("decode-table check [%s]: OK (%d rows, %d words cross-checked)\n",
+					rep.Config, rep.Rows, rep.Checked)
+			}
 		}
 		if !rep.OK() {
 			fail++

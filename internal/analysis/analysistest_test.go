@@ -130,6 +130,27 @@ func TestDeterminismParexploreExempt(t *testing.T) {
 	}
 }
 
+// TestDeterminismObsExempt pins the observability layer's standing
+// exemption: internal/obs measures wall time (span durations) and merges
+// shards under locks by design, so it must stay outside the determinism
+// analyzer's scope. Its determinism story is the side-channel contract —
+// no recorder state flows back into an exploration, so reports stay
+// byte-identical with tracing on and off (see internal/obs) — while the
+// scoped kernel packages that call into it keep being checked.
+func TestDeterminismObsExempt(t *testing.T) {
+	pkg, err := NewLoader().LoadDir(filepath.Join("testdata", "src", "determinism"), "symriscv/internal/obs/fixture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkg, []*Analyzer{Determinism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("determinism fired inside internal/obs, which must stay exempt: %v", diags)
+	}
+}
+
 // TestDeterminismQuerycacheScope pins the query-elimination layer inside the
 // determinism analyzer's scope: cache hits replace solver calls, so any
 // wall-clock, PRNG or map-order dependence in internal/querycache would make

@@ -14,6 +14,10 @@ import (
 // exploration. internal/harness and internal/fuzz are the sanctioned
 // homes for timing and randomness (campaign budgets, fuzzing) and are
 // deliberately not listed; cmd/ and examples/ are presentation layers.
+// internal/obs is likewise exempt: it is a wall-clock side channel by
+// design (span timing), and its contract — nothing observable flows back
+// into an exploration — is what keeps the scoped packages that call into
+// it deterministic (see internal/obs and TestDeterminismObsExempt).
 var deterministicPkgs = []string{
 	"symriscv/internal/bitblast",
 	"symriscv/internal/core",

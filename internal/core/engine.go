@@ -24,6 +24,7 @@ package core
 import (
 	"fmt"
 
+	"symriscv/internal/obs"
 	"symriscv/internal/querycache"
 	"symriscv/internal/smt"
 	"symriscv/internal/solver"
@@ -119,6 +120,11 @@ type Engine struct {
 	// queries route through (Options.NoQueryCache disables it).
 	qc *querycache.Local
 
+	// h is the owning worker's observability handle (nil when disabled).
+	// It is exposed to the program under exploration via Obs so the
+	// co-simulation can open rtl-step/iss-step/voter-compare spans.
+	h *obs.Handle
+
 	stats *Stats
 }
 
@@ -145,6 +151,10 @@ func newEngine(ctx *smt.Context, sol *solver.Solver, prefix []event, stats *Stat
 
 // Context returns the shared term context.
 func (e *Engine) Context() *smt.Context { return e.ctx }
+
+// Obs returns the worker's observability handle, nil when disabled. All
+// Span/Handle methods are nil-safe, so callers instrument unconditionally.
+func (e *Engine) Obs() *obs.Handle { return e.h }
 
 // MakeSymbolic returns the named symbolic bit-vector. Names must be chosen
 // deterministically by the program (e.g. derived from a memory address) so

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"symriscv/internal/obs"
 	"symriscv/internal/querycache"
 	"symriscv/internal/smt"
 	"symriscv/internal/solver"
@@ -101,6 +102,10 @@ type Options struct {
 	// NoTermRewrites disables the extended term rewrite rules, leaving only
 	// the basic constant folds. Ablation mode (symv -rewrite=off).
 	NoTermRewrites bool
+	// Obs, when non-nil, receives spans and counters for this exploration.
+	// Observability is side-channel only: it never influences exploration
+	// decisions, so reports are byte-identical with and without it.
+	Obs *obs.Recorder
 }
 
 // Stats aggregates exploration counters. The instruction and cycle counts
@@ -200,6 +205,13 @@ func (x *Explorer) Explore(opts Options) *Report {
 		x.qc = querycache.NewLocal(x.ctx, x.sol, nil)
 	}
 
+	h := opts.Obs.NewHandle(0)
+	x.sol.SetObs(h)
+	if x.qc != nil {
+		x.qc.SetObs(h)
+	}
+	root := h.Start(obs.PhaseExplore)
+
 	rep := &Report{}
 	wk := &walker{}
 	wk.addRoot()
@@ -229,8 +241,11 @@ func (x *Explorer) Explore(opts Options) *Report {
 			opts.Progress(snap)
 		}
 
+		sp := h.Start(obs.PhasePath)
+		sp.SetPath(pathID)
 		eng := newEngine(x.ctx, x.sol, wk.materialize(n), &rep.Stats, x.qc)
 		eng.noOpt = opts.NoBranchOptimizations
+		eng.h = h
 		err, abort := runOne(x.run, eng)
 
 		rep.Stats.Instructions += eng.instrRetired
@@ -239,14 +254,14 @@ func (x *Explorer) Explore(opts Options) *Report {
 		switch {
 		case abort != nil && abort.reason == AbortInfeasible:
 			rep.Stats.Infeasible++
+			sp.End()
 			continue // no fresh decisions to fork from
 		case abort != nil:
 			rep.Stats.Partial++
 		case errors.Is(err, ErrStopExploration):
 			rep.Stats.Completed++
-			rep.Stats.Elapsed = wallNow().Sub(start)
-			x.fillSizes(rep)
-			return rep
+			sp.End()
+			return x.finish(rep, start, root, h)
 		case err != nil:
 			rep.Stats.Partial++
 			f := Finding{Err: err, Path: pathID}
@@ -257,9 +272,8 @@ func (x *Explorer) Explore(opts Options) *Report {
 			}
 			rep.Findings = append(rep.Findings, f)
 			if opts.StopOnFirstFinding {
-				rep.Stats.Elapsed = wallNow().Sub(start)
-				x.fillSizes(rep)
-				return rep
+				sp.End()
+				return x.finish(rep, start, root, h)
 			}
 		default:
 			rep.Stats.Completed++
@@ -275,11 +289,22 @@ func (x *Explorer) Explore(opts Options) *Report {
 
 		// Schedule the unexplored sibling of every fresh branch decision.
 		wk.schedule(n, eng.fresh)
+		sp.End()
 	}
 
 	rep.Exhausted = wk.pending() == 0
+	return x.finish(rep, start, root, h)
+}
+
+// finish stamps the elapsed time and size/telemetry fields, then closes
+// out observability: the explore root span ends, the absorbed counters are
+// published, and the handle's shards merge into the recorder.
+func (x *Explorer) finish(rep *Report, start time.Time, root *obs.Span, h *obs.Handle) *Report {
 	rep.Stats.Elapsed = wallNow().Sub(start)
 	x.fillSizes(rep)
+	root.End()
+	publishObs(h, rep.Stats, x.sol.Stats())
+	h.Flush()
 	return rep
 }
 

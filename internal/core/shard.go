@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 
+	"symriscv/internal/obs"
 	"symriscv/internal/querycache"
 	"symriscv/internal/smt"
 	"symriscv/internal/solver"
@@ -53,6 +54,10 @@ type ShardOptions struct {
 	GenerateTests         bool
 	NoQueryCache          bool
 	NoTermRewrites        bool
+	// Obs, when non-nil, attaches this shard to the observability layer;
+	// ObsWorker is the worker index its spans and counters report under.
+	Obs       *obs.Recorder
+	ObsWorker int
 }
 
 // Shard explores disjoint subtrees of one program's path tree over a private
@@ -69,6 +74,7 @@ type Shard struct {
 	rng  pathRNG
 	opts ShardOptions
 	qc   *querycache.Local
+	h    *obs.Handle
 }
 
 // NewShard returns a shard with a fresh context and solver.
@@ -88,7 +94,36 @@ func NewShard(run RunFunc, opts ShardOptions) *Shard {
 	if !opts.NoQueryCache {
 		s.qc = querycache.NewLocal(ctx, sol, nil)
 	}
+	s.h = opts.Obs.NewHandle(opts.ObsWorker)
+	sol.SetObs(s.h)
+	if s.qc != nil {
+		s.qc.SetObs(s.h)
+	}
 	return s
+}
+
+// ObsHandle returns the shard's observability handle (nil when disabled).
+// The orchestrator uses it to stitch the shard's spans under its explore
+// root and to merge counter shards at hand-off points.
+func (s *Shard) ObsHandle() *obs.Handle { return s.h }
+
+// FlushObs merges the shard's counter/phase shards into the recorder, the
+// observability analogue of FlushCache. The orchestrator calls both at the
+// same hand-off points.
+func (s *Shard) FlushObs() { s.h.Flush() }
+
+// PublishObsCounters absorbs the shard's solver, query-cache and rewriter
+// counters into its registry shard and flushes. Called once per shard when
+// the orchestrator merges results. The explore.* family comes from the
+// orchestrator's merged report instead: summing per-shard path deltas
+// would double-count replay work moved across hand-offs.
+func (s *Shard) PublishObsCounters() {
+	if s.h == nil {
+		return
+	}
+	terms, satVars := s.Sizes()
+	publishBackendObs(s.h, s.SolverStats(), s.CacheStats(), s.RewriteHits(), terms, satVars)
+	s.h.Flush()
 }
 
 // AttachSharedCache connects the cross-worker query-cache store. Call before
@@ -156,9 +191,11 @@ func (s *Shard) Step(order SearchStrategy) (PathRecord, bool) {
 		return PathRecord{}, false
 	}
 
+	sp := s.h.Start(obs.PhasePath)
 	var st Stats
 	eng := newEngine(s.ctx, s.sol, s.w.materialize(n), &st, s.qc)
 	eng.noOpt = s.opts.NoBranchOptimizations
+	eng.h = s.h
 	err, abort := runOne(s.run, eng)
 
 	rec := PathRecord{
@@ -169,11 +206,13 @@ func (s *Shard) Step(order SearchStrategy) (PathRecord, bool) {
 	switch {
 	case abort != nil && abort.reason == AbortInfeasible:
 		rec.Kind = PathInfeasible
+		sp.End()
 		return finishRecord(rec, &st), true // no fresh decisions to fork from
 	case abort != nil:
 		rec.Kind = PathPartial
 	case errors.Is(err, ErrStopExploration):
 		rec.Kind = PathStopped
+		sp.End()
 		return finishRecord(rec, &st), true // sequential parity: stop schedules no siblings
 	case err != nil:
 		rec.Kind = PathFinding
@@ -197,6 +236,7 @@ func (s *Shard) Step(order SearchStrategy) (PathRecord, bool) {
 	// children order strictly after this path's Sig — scheduling after a
 	// min-Sig finding is harmless under a bound (everything gets pruned).
 	s.w.schedule(n, eng.fresh)
+	sp.End()
 	return finishRecord(rec, &st), true
 }
 

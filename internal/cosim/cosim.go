@@ -13,6 +13,7 @@ import (
 	"symriscv/internal/core"
 	"symriscv/internal/iss"
 	"symriscv/internal/microrv32"
+	"symriscv/internal/obs"
 	"symriscv/internal/riscv"
 	"symriscv/internal/rtl"
 	"symriscv/internal/rvfi"
@@ -167,6 +168,7 @@ func Run(eng *core.Engine, cfg Config) error {
 	}
 
 	voter := NewVoter(eng)
+	h := eng.Obs()
 
 	var ib rtl.IBusResponse
 	var db rtl.DBusResponse
@@ -175,7 +177,9 @@ func Run(eng *core.Engine, cfg Config) error {
 		if cycles >= cfg.CycleLimit {
 			eng.AbortLimitReached(fmt.Sprintf("cycle limit %d reached", cfg.CycleLimit))
 		}
+		sp := h.Start(obs.PhaseRTLStep)
 		ibReq, dbReq := dut.Step(ib, db)
+		sp.End()
 
 		// Service the buses; responses arrive at the next clock edge.
 		ib = rtl.IBusResponse{}
@@ -207,7 +211,9 @@ func Run(eng *core.Engine, cfg Config) error {
 				fmt.Fprintf(cfg.Trace, "cycle %3d  retire #%d  pc=%s insn=%s next=%s trap=%v\n",
 					cycles, ret.Order, termStr(ret.PCRData), termStr(ret.Insn), termStr(ret.PCWData), ret.Trap)
 			}
+			issSp := h.Start(obs.PhaseISSStep)
 			res := ref.Step()
+			issSp.End()
 			if m := voter.Compare(ret, res); m != nil {
 				if cfg.Trace != nil {
 					fmt.Fprintf(cfg.Trace, "cycle %3d  VOTER MISMATCH: %v\n", cycles, m)

@@ -5,6 +5,7 @@ import (
 
 	"symriscv/internal/core"
 	"symriscv/internal/iss"
+	"symriscv/internal/obs"
 	"symriscv/internal/riscv"
 	"symriscv/internal/rtl"
 	"symriscv/internal/rvfi"
@@ -86,6 +87,7 @@ func NewVoter(eng *core.Engine) *Voter {
 // Compare checks one retirement pair. A nil return means no observable
 // difference is satisfiable on this path.
 func (v *Voter) Compare(ret *rvfi.Retirement, res iss.Result) *Mismatch {
+	defer v.eng.Obs().Start(obs.PhaseVoterCompare).End()
 	ctx := v.ctx
 
 	// Trap behaviour is concrete on each path.

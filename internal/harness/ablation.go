@@ -32,23 +32,34 @@ type AblationResult struct {
 	Budget time.Duration
 }
 
-// RunRegSliceAblation measures exploration cost as a function of the
-// symbolic-register slice size on a fixed scenario (the OP-IMM class at
-// instruction limit 1), plus the time to find an injected E6 bug. Workers > 1
-// shards each point's exploration (see internal/parexplore).
-func RunRegSliceAblation(regCounts []int, perPointBudget time.Duration, maxPaths, workers int) *AblationResult {
-	if regCounts == nil {
-		regCounts = []int{2, 4, 8, 16, 31}
-	}
-	if perPointBudget == 0 {
-		perPointBudget = 30 * time.Second
-	}
-	if maxPaths == 0 {
-		maxPaths = 3000
-	}
-	res := &AblationResult{Budget: perPointBudget}
+// RegAblationOptions configure the sliced-register ablation study.
+type RegAblationOptions struct {
+	Common
+	// RegCounts are the symbolic-register slice sizes to sweep (default
+	// 2, 4, 8, 16, 31). Budget bounds each point (default 30s); MaxPaths
+	// bounds each sweep (default 3000).
+	RegCounts []int
+}
 
-	for _, n := range regCounts {
+// RegAblation measures exploration cost as a function of the
+// symbolic-register slice size on a fixed scenario (the OP-IMM class at
+// instruction limit 1), plus the time to find an injected E6 bug.
+func RegAblation(opt RegAblationOptions) *AblationResult {
+	if opt.RegCounts == nil {
+		opt.RegCounts = []int{2, 4, 8, 16, 31}
+	}
+	if opt.Budget == 0 {
+		opt.Budget = 30 * time.Second
+	}
+	if opt.MaxPaths == 0 {
+		opt.MaxPaths = 3000
+	}
+	// The E6 hunt stops on the first finding; only the time budget applies.
+	hunt := opt.Common
+	hunt.MaxPaths = 0
+	res := &AblationResult{Budget: opt.Budget}
+
+	for _, n := range opt.RegCounts {
 		pt := AblationPoint{SymbolicRegs: n}
 
 		// Exhaustive-ish sweep of the OP-IMM class.
@@ -59,7 +70,7 @@ func RunRegSliceAblation(regCounts []int, perPointBudget time.Duration, maxPaths
 			NumSymbolicRegs: n,
 			InstrLimit:      1,
 		}
-		rep := Explore(cosim.RunFunc(cfg), core.Options{MaxTime: perPointBudget, MaxPaths: maxPaths}, workers)
+		rep := opt.explore(cosim.RunFunc(cfg), core.Options{})
 		pt.Paths = rep.Stats.Paths
 		pt.Instr = rep.Stats.Instructions
 		pt.Time = rep.Stats.Elapsed
@@ -68,7 +79,7 @@ func RunRegSliceAblation(regCounts []int, perPointBudget time.Duration, maxPaths
 		// Time-to-bug for E6 under the same slicing.
 		coreCfg := microrv32.FixedConfig()
 		coreCfg.Faults = faults.Only(faults.E6)
-		hunt := cosim.Config{
+		huntCfg := cosim.Config{
 			ISS:             iss.FixedConfig(),
 			Core:            coreCfg,
 			Filter:          cosim.BlockSystemInstructions,
@@ -76,13 +87,24 @@ func RunRegSliceAblation(regCounts []int, perPointBudget time.Duration, maxPaths
 			InstrLimit:      1,
 		}
 		t0 := time.Now()
-		hrep := Explore(cosim.RunFunc(hunt), core.Options{StopOnFirstFinding: true, MaxTime: perPointBudget}, workers)
+		hrep := hunt.explore(cosim.RunFunc(huntCfg), core.Options{StopOnFirstFinding: true})
 		pt.FoundE6 = len(hrep.Findings) > 0
 		pt.FoundE6In = time.Since(t0)
 
 		res.Points = append(res.Points, pt)
 	}
 	return res
+}
+
+// RunRegSliceAblation runs the sliced-register ablation with positional
+// budgets.
+//
+// Deprecated: use RegAblation, which takes the shared Common options.
+func RunRegSliceAblation(regCounts []int, perPointBudget time.Duration, maxPaths, workers int) *AblationResult {
+	return RegAblation(RegAblationOptions{
+		Common:    Common{Workers: workers, Budget: perPointBudget, MaxPaths: maxPaths},
+		RegCounts: regCounts,
+	})
 }
 
 // Format renders the ablation table.
@@ -111,28 +133,37 @@ type LimitAblationPoint struct {
 	Exhausted bool
 }
 
-// RunLimitAblation quantifies the state-space growth from instruction limit
+// LimitAblationOptions configure the instruction-limit ablation study.
+type LimitAblationOptions struct {
+	Common
+	// Limits are the instruction limits to sweep (default 1, 2). Budget
+	// bounds each point (default 30s); MaxPaths bounds each sweep
+	// (default 3000).
+	Limits []int
+}
+
+// LimitAblation quantifies the state-space growth from instruction limit
 // 1 to higher limits on the matched baseline (Table II discussion: "the
 // instruction limit should be set as low as possible").
-func RunLimitAblation(limits []int, perPointBudget time.Duration, maxPaths, workers int) []LimitAblationPoint {
-	if limits == nil {
-		limits = []int{1, 2}
+func LimitAblation(opt LimitAblationOptions) []LimitAblationPoint {
+	if opt.Limits == nil {
+		opt.Limits = []int{1, 2}
 	}
-	if perPointBudget == 0 {
-		perPointBudget = 30 * time.Second
+	if opt.Budget == 0 {
+		opt.Budget = 30 * time.Second
 	}
-	if maxPaths == 0 {
-		maxPaths = 3000
+	if opt.MaxPaths == 0 {
+		opt.MaxPaths = 3000
 	}
 	var out []LimitAblationPoint
-	for _, l := range limits {
+	for _, l := range opt.Limits {
 		cfg := cosim.Config{
 			ISS:        iss.FixedConfig(),
 			Core:       microrv32.FixedConfig(),
 			Filter:     cosim.Filters(cosim.BlockSystemInstructions, cosim.OnlyOpcode(riscv.OpReg)),
 			InstrLimit: l,
 		}
-		rep := Explore(cosim.RunFunc(cfg), core.Options{MaxTime: perPointBudget, MaxPaths: maxPaths}, workers)
+		rep := opt.explore(cosim.RunFunc(cfg), core.Options{})
 		out = append(out, LimitAblationPoint{
 			Limit:     l,
 			Paths:     rep.Stats.Paths,
@@ -142,6 +173,17 @@ func RunLimitAblation(limits []int, perPointBudget time.Duration, maxPaths, work
 		})
 	}
 	return out
+}
+
+// RunLimitAblation runs the instruction-limit ablation with positional
+// budgets.
+//
+// Deprecated: use LimitAblation, which takes the shared Common options.
+func RunLimitAblation(limits []int, perPointBudget time.Duration, maxPaths, workers int) []LimitAblationPoint {
+	return LimitAblation(LimitAblationOptions{
+		Common: Common{Workers: workers, Budget: perPointBudget, MaxPaths: maxPaths},
+		Limits: limits,
+	})
 }
 
 // FormatLimitAblation renders the instruction-limit ablation table.

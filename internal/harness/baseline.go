@@ -46,6 +46,10 @@ type BaselineResult struct {
 
 // BaselineOptions configure the comparison.
 type BaselineOptions struct {
+	// Common carries the shared options for the symbolic hunts (the fuzzing
+	// campaigns are concrete and single-threaded by construction).
+	// Common.Budget provides the per-cell default when PerCellTime is zero.
+	Common
 	// PerCellTime bounds each hunt (default 20s).
 	PerCellTime time.Duration
 	// MaxTrials bounds each fuzzing campaign (default 200000).
@@ -58,6 +62,9 @@ type BaselineOptions struct {
 
 // RunBaseline runs the comparison.
 func RunBaseline(opt BaselineOptions) *BaselineResult {
+	if opt.PerCellTime == 0 {
+		opt.PerCellTime = opt.Budget
+	}
 	if opt.PerCellTime == 0 {
 		opt.PerCellTime = 20 * time.Second
 	}
@@ -83,9 +90,8 @@ func RunBaseline(opt BaselineOptions) *BaselineResult {
 
 		symCfg := base
 		symCfg.Filter = cosim.BlockSystemInstructions
-		x := core.NewExplorer(cosim.RunFunc(symCfg))
 		t0 := time.Now()
-		rep := x.Explore(core.Options{StopOnFirstFinding: true, MaxTime: opt.PerCellTime})
+		rep := opt.explore(cosim.RunFunc(symCfg), core.Options{StopOnFirstFinding: true, MaxTime: opt.PerCellTime})
 		row.SymFound = len(rep.Findings) > 0
 		row.SymTime = time.Since(t0)
 

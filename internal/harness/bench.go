@@ -31,12 +31,13 @@ func (a Ablate) apply(o core.Options) core.Options {
 
 // BenchOptions configure the exploration benchmark (symv bench).
 type BenchOptions struct {
-	// Workers is the parallel column compared against workers=1; defaults
-	// to GOMAXPROCS, floored at 2 so the sharded orchestrator is always
-	// exercised even on a single-core host.
-	Workers int
-	// Budget bounds each throughput measurement (default 10s).
-	Budget time.Duration
+	// Common carries the shared options. Workers is the parallel column
+	// compared against workers=1 (defaults to GOMAXPROCS, floored at 2 so
+	// the sharded orchestrator is always exercised even on a single-core
+	// host); Budget bounds each throughput measurement (default 10s); the
+	// Cache / Rewrite toggles apply to every measurement (symv bench
+	// -cache=off -rewrite=off).
+	Common
 	// HuntTime bounds each per-fault time-to-bug measurement (default 30s).
 	HuntTime time.Duration
 	// Faults are the time-to-bug targets (default E1, E5, E6 — a cheap, a
@@ -46,9 +47,6 @@ type BenchOptions struct {
 	// the longrun configuration).
 	InstrLimit int
 	NumRegs    int
-	// Ablate disables the query-elimination layer and/or the extended term
-	// rewrites for every measurement (symv bench -cache=off -rewrite=off).
-	Ablate Ablate
 	// CacheAblation additionally runs the bounded cache-on/cache-off
 	// equivalence check (always on under symv bench -quick): the same
 	// path-bounded workload must report identical paths, engine queries and
@@ -187,8 +185,8 @@ func RunBench(opt BenchOptions) *BenchReport {
 		BudgetSecs: opt.Budget.Seconds(),
 		InstrLimit: opt.InstrLimit,
 		NumRegs:    opt.NumRegs,
-		CacheOff:   opt.Ablate.NoQueryCache,
-		RewriteOff: opt.Ablate.NoTermRewrites,
+		CacheOff:   opt.Cache.Disabled(),
+		RewriteOff: opt.Rewrite.Disabled(),
 	}
 
 	for _, w := range []int{1, opt.Workers} {
@@ -198,7 +196,9 @@ func RunBench(opt BenchOptions) *BenchReport {
 			InstrLimit:      opt.InstrLimit,
 			NumSymbolicRegs: opt.NumRegs,
 		}
-		r := Explore(cosim.RunFunc(cfg), opt.Ablate.apply(core.Options{MaxTime: opt.Budget}), w)
+		c := opt.Common
+		c.Workers = w
+		r := c.explore(cosim.RunFunc(cfg), core.Options{MaxTime: opt.Budget})
 		row := BenchThroughput{
 			Workers:        w,
 			Paths:          r.Stats.Paths,
@@ -230,11 +230,13 @@ func RunBench(opt BenchOptions) *BenchReport {
 				Filter:     cosim.BlockSystemInstructions,
 				InstrLimit: opt.InstrLimit,
 			}
+			c := opt.Common
+			c.Workers = w
 			t0 := time.Now()
-			r := Explore(cosim.RunFunc(cfg), opt.Ablate.apply(core.Options{
+			r := c.explore(cosim.RunFunc(cfg), core.Options{
 				StopOnFirstFinding: true,
 				MaxTime:            opt.HuntTime,
-			}), w)
+			})
 			rep.Hunts = append(rep.Hunts, BenchHunt{
 				Fault:         f.String(),
 				Workers:       w,
@@ -256,6 +258,9 @@ func RunBench(opt BenchOptions) *BenchReport {
 
 // runCacheAblation runs the bounded equivalence workload twice (elimination
 // layer on, then off) and cross-checks the deterministic report contract.
+// The shared Cache toggle and Budget deliberately do not apply: the check is
+// about the on/off pair, and a wall-time bound would make the two bounded
+// workloads diverge on a loaded machine.
 func runCacheAblation(opt BenchOptions) *BenchAblation {
 	cfg := cosim.Config{
 		ISS:             iss.VPConfig(),
@@ -263,11 +268,11 @@ func runCacheAblation(opt BenchOptions) *BenchAblation {
 		InstrLimit:      opt.InstrLimit,
 		NumSymbolicRegs: opt.NumRegs,
 	}
-	bounded := core.Options{MaxPaths: opt.AblationMaxPaths}
-	on := Explore(cosim.RunFunc(cfg), bounded, 1)
+	bounded := core.Options{MaxPaths: opt.AblationMaxPaths, Obs: opt.Obs}
+	on := exploreWorkers(cosim.RunFunc(cfg), bounded, 1)
 	offOpts := bounded
 	offOpts.NoQueryCache = true
-	off := Explore(cosim.RunFunc(cfg), offOpts, 1)
+	off := exploreWorkers(cosim.RunFunc(cfg), offOpts, 1)
 
 	ab := &BenchAblation{
 		MaxPaths:      opt.AblationMaxPaths,

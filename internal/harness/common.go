@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"strings"
+	"time"
+
+	"symriscv/internal/core"
+	"symriscv/internal/obs"
+	"symriscv/internal/parexplore"
+)
+
+// Toggle is a tri-state ablation switch as it appears on the command line:
+// the zero value and "on" leave the feature enabled, "off" disables it.
+// Toggles exist to measure what a layer buys — reports are identical on and
+// off by construction (see internal/querycache).
+type Toggle string
+
+// Toggle states.
+const (
+	On  Toggle = "on"
+	Off Toggle = "off"
+)
+
+// Disabled reports whether the toggle turns its feature off.
+func (t Toggle) Disabled() bool { return t == Off }
+
+// ParseToggle maps a flag value to a Toggle; ok is false for anything other
+// than "", "on" or "off" (case-insensitive).
+func ParseToggle(v string) (Toggle, bool) {
+	switch strings.ToLower(v) {
+	case "", "on":
+		return On, true
+	case "off":
+		return Off, true
+	}
+	return "", false
+}
+
+// Common is the option set shared by every harness campaign. Per-command
+// option structs embed it, so the symv flag group (-workers, -cache,
+// -rewrite, -trace, -metrics) maps onto one place regardless of command.
+type Common struct {
+	// Workers shards each exploration's path tree across this many solver
+	// contexts (see internal/parexplore); <= 1 explores sequentially.
+	// Reports are worker-count independent by construction.
+	Workers int
+	// Cache toggles the query-elimination layer (stack models, independence
+	// slicing, feasibility caching); Rewrite the extended term rewrites.
+	Cache   Toggle
+	Rewrite Toggle
+	// Obs, when non-nil, attaches every exploration to the observability
+	// layer (spans, counters, JSONL traces). Strictly a side channel:
+	// reports are byte-identical with and without it.
+	Obs *obs.Recorder
+	// Budget bounds each exploration's wall time when the command does not
+	// override it with a more specific budget (PerProbeTime, PerCellTime...).
+	Budget time.Duration
+	// MaxPaths bounds each exploration's path count (0 = unbounded unless
+	// the command sets its own default).
+	MaxPaths int
+}
+
+// apply copies the shared options onto one exploration's core options.
+// Command-specific settings win: already-set bounds are kept, and the
+// ablation toggles only ever disable (they never re-enable a layer an
+// explicit option turned off).
+func (c Common) apply(o core.Options) core.Options {
+	o.NoQueryCache = o.NoQueryCache || c.Cache.Disabled()
+	o.NoTermRewrites = o.NoTermRewrites || c.Rewrite.Disabled()
+	if o.Obs == nil {
+		o.Obs = c.Obs
+	}
+	if o.MaxTime == 0 {
+		o.MaxTime = c.Budget
+	}
+	if o.MaxPaths == 0 {
+		o.MaxPaths = c.MaxPaths
+	}
+	return o
+}
+
+// explore runs one exploration under the shared options.
+func (c Common) explore(run core.RunFunc, o core.Options) *core.Report {
+	return exploreWorkers(run, c.apply(o), c.Workers)
+}
+
+// exploreWorkers routes one exploration to the sequential explorer
+// (workers <= 1) or to the sharded parallel orchestrator. Both produce the
+// same Report for the same options — parexplore's canonical merge numbers
+// paths in sequential depth-first order — so callers choose a worker count
+// purely on hardware grounds.
+func exploreWorkers(run core.RunFunc, opts core.Options, workers int) *core.Report {
+	if workers > 1 {
+		return parexplore.Explore(run, opts, workers)
+	}
+	return core.NewExplorer(run).Explore(opts)
+}
+
+// ExploreOptions configure one direct exploration (symv hunt / replay).
+type ExploreOptions struct {
+	Common
+	// Core carries the exploration-specific options; the shared toggles,
+	// budgets and observability sink are layered on top by Common.
+	Core core.Options
+}
+
+// ExploreWith runs one exploration under a single options struct — the
+// struct-options replacement for the positional Explore(run, opts, workers).
+func ExploreWith(run core.RunFunc, o ExploreOptions) *core.Report {
+	return o.explore(run, o.Core)
+}
+
+// common converts the legacy positional ablation toggles, for the deprecated
+// wrapper entrypoints.
+func (a Ablate) common(workers int) Common {
+	c := Common{Workers: workers}
+	if a.NoQueryCache {
+		c.Cache = Off
+	}
+	if a.NoTermRewrites {
+		c.Rewrite = Off
+	}
+	return c
+}

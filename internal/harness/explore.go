@@ -2,17 +2,13 @@ package harness
 
 import (
 	"symriscv/internal/core"
-	"symriscv/internal/parexplore"
 )
 
 // Explore routes one exploration to the sequential explorer (workers <= 1)
-// or to the sharded parallel orchestrator. Both produce the same Report for
-// the same options — parexplore's canonical merge numbers paths in sequential
-// depth-first order — so callers choose a worker count purely on hardware
-// grounds.
+// or to the sharded parallel orchestrator.
+//
+// Deprecated: use ExploreWith, which takes the shared Common options (and
+// with them the ablation toggles and the observability sink) as one struct.
 func Explore(run core.RunFunc, opts core.Options, workers int) *core.Report {
-	if workers > 1 {
-		return parexplore.Explore(run, opts, workers)
-	}
-	return core.NewExplorer(run).Explore(opts)
+	return exploreWorkers(run, opts, workers)
 }

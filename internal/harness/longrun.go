@@ -22,23 +22,45 @@ type LongRunResult struct {
 	Workers int
 }
 
-// RunLongRun performs a budgeted comprehensive exploration of the shipped
+// LongRunOptions configure the comprehensive exploration; Common.Budget
+// bounds the run (default 30s).
+type LongRunOptions struct {
+	Common
+	// InstrLimit / NumRegs fix the workload (defaults 1 and 2).
+	InstrLimit int
+	NumRegs    int
+}
+
+// LongRun performs a budgeted comprehensive exploration of the shipped
 // configuration (all instructions, VP reference), generating a test vector
-// per completed path. Workers > 1 shards the path tree across that many
-// solver contexts (see internal/parexplore); ab carries the ablation toggles
-// (-cache=off, -rewrite=off).
-func RunLongRun(budget time.Duration, instrLimit, numRegs, workers int, ab Ablate) *LongRunResult {
+// per completed path.
+func LongRun(opt LongRunOptions) *LongRunResult {
+	if opt.InstrLimit == 0 {
+		opt.InstrLimit = 1
+	}
+	if opt.NumRegs == 0 {
+		opt.NumRegs = 2
+	}
+	if opt.Budget == 0 {
+		opt.Budget = 30 * time.Second
+	}
 	cfg := cosim.Config{
 		ISS:             iss.VPConfig(),
 		Core:            microrv32.ShippedConfig(),
-		InstrLimit:      instrLimit,
-		NumSymbolicRegs: numRegs,
+		InstrLimit:      opt.InstrLimit,
+		NumSymbolicRegs: opt.NumRegs,
 	}
-	rep := Explore(cosim.RunFunc(cfg), ab.apply(core.Options{
-		MaxTime:       budget,
-		GenerateTests: true,
-	}), workers)
-	return &LongRunResult{Report: rep, Budget: budget, Limit: instrLimit, NumRegs: numRegs, Workers: workers}
+	rep := opt.explore(cosim.RunFunc(cfg), core.Options{GenerateTests: true})
+	return &LongRunResult{Report: rep, Budget: opt.Budget, Limit: opt.InstrLimit, NumRegs: opt.NumRegs, Workers: opt.Workers}
+}
+
+// RunLongRun performs the comprehensive exploration with positional budgets.
+//
+// Deprecated: use LongRun, which takes the shared Common options.
+func RunLongRun(budget time.Duration, instrLimit, numRegs, workers int, ab Ablate) *LongRunResult {
+	c := ab.common(workers)
+	c.Budget = budget
+	return LongRun(LongRunOptions{Common: c, InstrLimit: instrLimit, NumRegs: numRegs})
 }
 
 // Format renders the long-run statistics paragraph.

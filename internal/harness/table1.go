@@ -77,14 +77,21 @@ type Table1Options struct {
 	// must produce zero rows.
 	ISSConfig  *iss.Config
 	CoreConfig *microrv32.Config
-	// Workers shards each probe's path tree across this many solver
-	// contexts (see internal/parexplore); <= 1 explores sequentially.
-	Workers int
+	// Common carries the shared campaign options (workers, ablation
+	// toggles, observability). Common.Budget / Common.MaxPaths provide the
+	// per-probe defaults when the fields above are zero.
+	Common
 }
 
 func (o Table1Options) withDefaults() Table1Options {
 	if o.PerProbeTime == 0 {
+		o.PerProbeTime = o.Budget
+	}
+	if o.PerProbeTime == 0 {
 		o.PerProbeTime = 60 * time.Second
+	}
+	if o.PerProbeMaxPaths == 0 {
+		o.PerProbeMaxPaths = o.MaxPaths
 	}
 	if o.PerProbeMaxPaths == 0 {
 		o.PerProbeMaxPaths = 5000
@@ -119,10 +126,10 @@ func RunTable1(opt Table1Options) *Table1Result {
 			Filter:     probe.Filter,
 			InstrLimit: probe.Limit,
 		}
-		rep := Explore(cosim.RunFunc(cfg), core.Options{
+		rep := opt.explore(cosim.RunFunc(cfg), core.Options{
 			MaxTime:  opt.PerProbeTime,
 			MaxPaths: opt.PerProbeMaxPaths,
-		}, opt.Workers)
+		})
 		res.Stats.Paths += rep.Stats.Paths
 		res.Stats.Completed += rep.Stats.Completed
 		res.Stats.Partial += rep.Stats.Partial

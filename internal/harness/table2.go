@@ -56,13 +56,13 @@ type Table2Options struct {
 	// cell owns its explorer, term context and solver, so cells are fully
 	// independent. 0 or 1 runs sequentially.
 	Parallel int
-	// Workers shards each cell's path tree across this many solver contexts
-	// (see internal/parexplore); <= 1 explores sequentially. Orthogonal to
-	// Parallel: Parallel spreads cells, Workers splits within a cell, which
-	// also helps when a single slow cell dominates the campaign.
-	Workers int
 	// DUT selects the device under test (default: the MicroRV32 model).
 	DUT DUTKind
+	// Common carries the shared campaign options. Common.Workers splits
+	// within a cell — orthogonal to Parallel, which spreads cells — and
+	// also helps when a single slow cell dominates the campaign.
+	// Common.Budget provides the per-cell default when PerCellTime is zero.
+	Common
 }
 
 // DUTKind selects which core model the campaign verifies.
@@ -84,6 +84,9 @@ func (d DUTKind) String() string {
 }
 
 func (o Table2Options) withDefaults() Table2Options {
+	if o.PerCellTime == 0 {
+		o.PerCellTime = o.Budget
+	}
 	if o.PerCellTime == 0 {
 		o.PerCellTime = 60 * time.Second
 	}
@@ -169,12 +172,12 @@ func runTable2Cell(f faults.Fault, limit int, opt Table2Options) Table2Cell {
 		cfg.Core = coreCfg
 	}
 	t0 := time.Now()
-	rep := Explore(cosim.RunFunc(cfg), core.Options{
+	rep := opt.explore(cosim.RunFunc(cfg), core.Options{
 		StopOnFirstFinding: true,
 		MaxTime:            opt.PerCellTime,
 		Search:             opt.Search,
 		Seed:               opt.Seed,
-	}, opt.Workers)
+	})
 	return Table2Cell{
 		Found:   len(rep.Findings) > 0,
 		Instr:   rep.Stats.Instructions,

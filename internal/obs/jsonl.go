@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"strconv"
+)
+
+// jsonlWriter emits the trace event stream. Events are hand-encoded so the
+// field order is fixed (diffable traces, golden-testable schema) instead of
+// depending on encoding/json struct ordering rules:
+//
+//	{"ev":"trace","v":1,"label":"bench"}
+//	{"ev":"span","id":2,"par":1,"w":0,"name":"path","t0":1200,"dur":88000,
+//	 "path":3,"kids":[{"name":"solver-check","n":4,"ns":61000}]}
+//	{"ev":"counter","name":"solver.cdcl","v":812}
+//	{"ev":"gauge","name":"sat.vars","v":120034}
+//	{"ev":"end","dur":2000000000,"spans":451}
+//
+// Times are nanoseconds; t0 is the offset from the trace start. "path" is
+// present only on spans tagged with a path index, "kids" only when child
+// rollups exist (sorted by name). Callers hold the recorder mutex around
+// each event.
+type jsonlWriter struct {
+	w   *bufio.Writer
+	buf []byte
+}
+
+func newJSONLWriter(w io.Writer) *jsonlWriter {
+	return &jsonlWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+func (j *jsonlWriter) header(label string) {
+	j.buf = j.buf[:0]
+	j.buf = append(j.buf, `{"ev":"trace","v":1,"label":`...)
+	j.buf = strconv.AppendQuote(j.buf, label)
+	j.line()
+}
+
+func (j *jsonlWriter) span(id, par uint64, worker int, name string, path int64, t0, dur uint64, kids []kid) {
+	j.buf = j.buf[:0]
+	j.buf = append(j.buf, `{"ev":"span","id":`...)
+	j.buf = strconv.AppendUint(j.buf, id, 10)
+	j.buf = append(j.buf, `,"par":`...)
+	j.buf = strconv.AppendUint(j.buf, par, 10)
+	j.buf = append(j.buf, `,"w":`...)
+	j.buf = strconv.AppendInt(j.buf, int64(worker), 10)
+	j.buf = append(j.buf, `,"name":`...)
+	j.buf = strconv.AppendQuote(j.buf, name)
+	j.buf = append(j.buf, `,"t0":`...)
+	j.buf = strconv.AppendUint(j.buf, t0, 10)
+	j.buf = append(j.buf, `,"dur":`...)
+	j.buf = strconv.AppendUint(j.buf, dur, 10)
+	if path >= 0 {
+		j.buf = append(j.buf, `,"path":`...)
+		j.buf = strconv.AppendInt(j.buf, path, 10)
+	}
+	if len(kids) > 0 {
+		j.buf = append(j.buf, `,"kids":[`...)
+		for i, k := range kids {
+			if i > 0 {
+				j.buf = append(j.buf, ',')
+			}
+			j.buf = append(j.buf, `{"name":`...)
+			j.buf = strconv.AppendQuote(j.buf, k.name)
+			j.buf = append(j.buf, `,"n":`...)
+			j.buf = strconv.AppendUint(j.buf, k.n, 10)
+			j.buf = append(j.buf, `,"ns":`...)
+			j.buf = strconv.AppendUint(j.buf, k.ns, 10)
+			j.buf = append(j.buf, '}')
+		}
+		j.buf = append(j.buf, ']')
+	}
+	j.line()
+}
+
+// counter writes a counter or gauge total ("counter" / "gauge" event kind).
+func (j *jsonlWriter) counter(ev, name string, v uint64) {
+	j.buf = j.buf[:0]
+	j.buf = append(j.buf, `{"ev":`...)
+	j.buf = strconv.AppendQuote(j.buf, ev)
+	j.buf = append(j.buf, `,"name":`...)
+	j.buf = strconv.AppendQuote(j.buf, name)
+	j.buf = append(j.buf, `,"v":`...)
+	j.buf = strconv.AppendUint(j.buf, v, 10)
+	j.line()
+}
+
+func (j *jsonlWriter) end(dur, spans uint64) {
+	j.buf = j.buf[:0]
+	j.buf = append(j.buf, `{"ev":"end","dur":`...)
+	j.buf = strconv.AppendUint(j.buf, dur, 10)
+	j.buf = append(j.buf, `,"spans":`...)
+	j.buf = strconv.AppendUint(j.buf, spans, 10)
+	j.line()
+}
+
+func (j *jsonlWriter) line() {
+	j.buf = append(j.buf, '}', '\n')
+	j.w.Write(j.buf)
+}
+
+func (j *jsonlWriter) flush() error { return j.w.Flush() }

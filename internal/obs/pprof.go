@@ -1,0 +1,20 @@
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+	"strconv"
+)
+
+// LabelWorker runs f with pprof goroutine labels identifying the phase and
+// worker index, so CPU profiles taken during exploration attribute samples
+// per worker and per phase. With a nil recorder, f runs unlabeled.
+func LabelWorker(r *Recorder, worker int, phase string, f func()) {
+	if r == nil {
+		f()
+		return
+	}
+	pprof.Do(context.Background(),
+		pprof.Labels("obs.phase", phase, "obs.worker", strconv.Itoa(worker)),
+		func(context.Context) { f() })
+}

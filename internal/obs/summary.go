@@ -1,0 +1,263 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Event is one decoded JSONL trace line. Reading uses encoding/json (the
+// hand-rolled encoder only matters for writing stable output).
+type Event struct {
+	Ev    string     `json:"ev"`
+	V     uint64     `json:"v"`
+	Label string     `json:"label"`
+	ID    uint64     `json:"id"`
+	Par   uint64     `json:"par"`
+	W     int        `json:"w"`
+	Name  string     `json:"name"`
+	T0    uint64     `json:"t0"`
+	Dur   uint64     `json:"dur"`
+	Path  *int64     `json:"path"`
+	Kids  []KidEvent `json:"kids"`
+	Spans uint64     `json:"spans"`
+}
+
+// KidEvent is a child rollup inside a span event.
+type KidEvent struct {
+	Name string `json:"name"`
+	N    uint64 `json:"n"`
+	NS   uint64 `json:"ns"`
+}
+
+// histBuckets are the per-phase duration histogram boundaries (decade
+// buckets; the last bucket is unbounded).
+var histBuckets = []time.Duration{
+	time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond,
+	time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond,
+	time.Second,
+}
+
+var histLabels = []string{"<1µs", "<10µs", "<100µs", "<1ms", "<10ms", "<100ms", "<1s", "≥1s"}
+
+// PhaseSummary aggregates the spans of one name across a trace.
+type PhaseSummary struct {
+	Name  string
+	Count uint64
+	Total time.Duration
+	Max   time.Duration
+	Hist  [8]uint64 // indexed like histLabels
+}
+
+// Summary is the digest of one JSONL trace file.
+type Summary struct {
+	Label    string
+	Wall     time.Duration // from the end event; falls back to max span end
+	Spans    uint64
+	Phases   []PhaseSummary // sorted by cumulative time, descending
+	Counters map[string]uint64
+	Gauges   map[string]uint64
+}
+
+// ReadSummary digests a JSONL trace stream. Unknown event kinds and extra
+// fields are ignored so the schema can grow.
+func ReadSummary(r io.Reader) (*Summary, error) {
+	s := &Summary{Counters: map[string]uint64{}, Gauges: map[string]uint64{}}
+	phases := map[string]*PhaseSummary{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	var maxEnd uint64
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var ev Event
+		if err := json.Unmarshal(b, &ev); err != nil {
+			return nil, fmt.Errorf("trace line %d: %w", line, err)
+		}
+		switch ev.Ev {
+		case "trace":
+			s.Label = ev.Label
+		case "span":
+			p := phases[ev.Name]
+			if p == nil {
+				p = &PhaseSummary{Name: ev.Name}
+				phases[ev.Name] = p
+			}
+			d := time.Duration(ev.Dur)
+			p.Count++
+			p.Total += d
+			if d > p.Max {
+				p.Max = d
+			}
+			p.Hist[histBucket(d)]++
+			if end := ev.T0 + ev.Dur; end > maxEnd {
+				maxEnd = end
+			}
+		case "counter":
+			s.Counters[ev.Name] += ev.V
+		case "gauge":
+			if ev.V > s.Gauges[ev.Name] {
+				s.Gauges[ev.Name] = ev.V
+			}
+		case "end":
+			s.Wall = time.Duration(ev.Dur)
+			s.Spans = ev.Spans
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if s.Wall == 0 {
+		s.Wall = time.Duration(maxEnd)
+	}
+	var seen uint64
+	for _, p := range phases {
+		s.Phases = append(s.Phases, *p)
+		seen += p.Count
+	}
+	if s.Spans == 0 {
+		// Truncated trace without an end event: report what we saw.
+		s.Spans = seen
+	}
+	sort.Slice(s.Phases, func(i, j int) bool {
+		if s.Phases[i].Total != s.Phases[j].Total {
+			return s.Phases[i].Total > s.Phases[j].Total
+		}
+		return s.Phases[i].Name < s.Phases[j].Name
+	})
+	return s, nil
+}
+
+func histBucket(d time.Duration) int {
+	for i, b := range histBuckets {
+		if d < b {
+			return i
+		}
+	}
+	return len(histBuckets)
+}
+
+// Format renders the digest: top phases by cumulative time, counter and
+// gauge totals, and the per-phase duration histogram. top bounds the
+// number of phase rows (0 = all).
+func (s *Summary) Format(top int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: label=%s spans=%d wall=%s\n", orDash(s.Label), s.Spans, fmtNS(s.Wall))
+	phases := s.Phases
+	if top > 0 && top < len(phases) {
+		phases = phases[:top]
+	}
+	if len(phases) > 0 {
+		fmt.Fprintf(&b, "\n%-14s %10s %12s %12s %12s %7s\n", "phase", "count", "total", "avg", "max", "%wall")
+		for _, p := range phases {
+			pct := 0.0
+			if s.Wall > 0 {
+				pct = 100 * float64(p.Total) / float64(s.Wall)
+			}
+			avg := time.Duration(0)
+			if p.Count > 0 {
+				avg = p.Total / time.Duration(p.Count)
+			}
+			fmt.Fprintf(&b, "%-14s %10d %12s %12s %12s %7.1f\n",
+				p.Name, p.Count, fmtNS(p.Total), fmtNS(avg), fmtNS(p.Max), pct)
+		}
+		fmt.Fprintf(&b, "\n%-14s", "histogram")
+		for _, l := range histLabels {
+			fmt.Fprintf(&b, " %7s", l)
+		}
+		b.WriteByte('\n')
+		for _, p := range phases {
+			fmt.Fprintf(&b, "%-14s", p.Name)
+			for _, n := range p.Hist {
+				fmt.Fprintf(&b, " %7d", n)
+			}
+			b.WriteByte('\n')
+		}
+	}
+	writeKV(&b, "counters", s.Counters)
+	writeKV(&b, "gauges", s.Gauges)
+	return b.String()
+}
+
+// FormatSnapshot renders the merged registry of a live Recorder as the
+// same per-phase table (the -metrics sink). Returns "" when disabled.
+func (r *Recorder) FormatSnapshot() string {
+	if r == nil {
+		return ""
+	}
+	snap := r.Snapshot()
+	s := &Summary{
+		Label:    r.label,
+		Wall:     snap.Elapsed,
+		Spans:    snap.Spans,
+		Counters: snap.Counters,
+		Gauges:   snap.Gauges,
+	}
+	for name, p := range snap.Phases {
+		avgOnly := PhaseSummary{Name: name, Count: p.Count, Total: time.Duration(p.Nanos)}
+		s.Phases = append(s.Phases, avgOnly)
+	}
+	sort.Slice(s.Phases, func(i, j int) bool {
+		if s.Phases[i].Total != s.Phases[j].Total {
+			return s.Phases[i].Total > s.Phases[j].Total
+		}
+		return s.Phases[i].Name < s.Phases[j].Name
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "metrics: label=%s spans=%d wall=%s\n", orDash(s.Label), s.Spans, fmtNS(s.Wall))
+	if len(s.Phases) > 0 {
+		fmt.Fprintf(&b, "\n%-14s %10s %12s %12s %7s\n", "phase", "count", "total", "avg", "%wall")
+		for _, p := range s.Phases {
+			pct := 0.0
+			if s.Wall > 0 {
+				pct = 100 * float64(p.Total) / float64(s.Wall)
+			}
+			avg := time.Duration(0)
+			if p.Count > 0 {
+				avg = p.Total / time.Duration(p.Count)
+			}
+			fmt.Fprintf(&b, "%-14s %10d %12s %12s %7.1f\n", p.Name, p.Count, fmtNS(p.Total), fmtNS(avg), pct)
+		}
+	}
+	writeKV(&b, "counters", s.Counters)
+	writeKV(&b, "gauges", s.Gauges)
+	return b.String()
+}
+
+func writeKV(b *strings.Builder, title string, m map[string]uint64) {
+	if len(m) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "\n%s:\n", title)
+	for _, k := range sortedKeys(m) {
+		fmt.Fprintf(b, "  %-28s %12d\n", k, m[k])
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// fmtNS renders a duration rounded for tables.
+func fmtNS(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	case d >= time.Microsecond:
+		return d.Round(10 * time.Nanosecond).String()
+	}
+	return d.String()
+}

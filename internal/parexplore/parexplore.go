@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"symriscv/internal/core"
+	"symriscv/internal/obs"
 	"symriscv/internal/querycache"
 )
 
@@ -372,6 +373,11 @@ func Explore(run core.RunFunc, opts core.Options, workers int) *core.Report {
 	start := time.Now()
 	c := newCoord(opts, start)
 
+	// The orchestrator's handle (worker 0) owns the explore root span;
+	// shard handles (workers 1..N) stitch their path spans under it.
+	oh := opts.Obs.NewHandle(0)
+	root := oh.Start(obs.PhaseExplore)
+
 	shardOpts := core.ShardOptions{
 		Search:                opts.Search,
 		SolverConflictBudget:  opts.SolverConflictBudget,
@@ -379,6 +385,7 @@ func Explore(run core.RunFunc, opts core.Options, workers int) *core.Report {
 		GenerateTests:         opts.GenerateTests,
 		NoQueryCache:          opts.NoQueryCache,
 		NoTermRewrites:        opts.NoTermRewrites,
+		Obs:                   opts.Obs,
 	}
 	// One read-mostly cache store spans all workers; each shard buffers its
 	// new entries locally and publishes them at hand-off points, so cache
@@ -391,10 +398,12 @@ func Explore(run core.RunFunc, opts core.Options, workers int) *core.Report {
 	for i := range shards {
 		so := shardOpts
 		so.Seed = opts.Seed + int64(i)
+		so.ObsWorker = i + 1
 		shards[i] = core.NewShard(run, so)
 		if store != nil {
 			shards[i].AttachSharedCache(store)
 		}
+		shards[i].ObsHandle().SetBase(root)
 	}
 
 	// Seed phase: worker 0's shard explores breadth-first until the frontier
@@ -426,18 +435,31 @@ func Explore(run core.RunFunc, opts core.Options, workers int) *core.Report {
 	// Publish the seed phase's cache entries before workers start, so every
 	// worker begins with the shared decode-prefix answers.
 	seed.FlushCache()
+	seed.FlushObs()
 
 	var wg sync.WaitGroup
 	for i := 0; i < workers; i++ {
 		wg.Add(1)
-		go func(sh *core.Shard) {
+		go func(i int, sh *core.Shard) {
 			defer wg.Done()
-			workerLoop(sh, q, c, opts.Search)
-		}(shards[i])
+			// pprof labels attribute CPU samples per worker and phase.
+			obs.LabelWorker(opts.Obs, i+1, obs.PhaseExplore, func() {
+				workerLoop(sh, q, c, opts.Search)
+			})
+		}(i, shards[i])
 	}
 	wg.Wait()
 
-	return c.merge(shards)
+	rep := c.merge(shards)
+	if opts.Obs != nil {
+		for _, sh := range shards {
+			sh.PublishObsCounters()
+		}
+		core.PublishExploreObs(oh, rep.Stats)
+		root.End()
+		oh.Flush()
+	}
+	return rep
 }
 
 // workerLoop pulls subtree roots off the queue and explores them, donating
@@ -464,13 +486,17 @@ func workerLoop(sh *core.Shard, q *queue, c *coord, search core.SearchStrategy) 
 			c.record(rec)
 			if sh.Pending() > 1 && q.hungry() {
 				if prefix, sig, ok := sh.Handoff(); ok {
-					// The donated subtree's cached answers travel with it.
+					// The donated subtree's cached answers travel with it;
+					// counter/phase shards merge at the same hand-off point.
 					sh.FlushCache()
+					sh.FlushObs()
 					q.put(unit{prefix: prefix, sig: sig})
 				}
 			}
 		}
-		// Subtree done: publish its cache entries before going idle.
+		// Subtree done: publish its cache entries and counter shards before
+		// going idle.
 		sh.FlushCache()
+		sh.FlushObs()
 	}
 }

@@ -1,6 +1,7 @@
 package parexplore_test
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"runtime"
@@ -14,6 +15,7 @@ import (
 	"symriscv/internal/harness"
 	"symriscv/internal/iss"
 	"symriscv/internal/microrv32"
+	"symriscv/internal/obs"
 	"symriscv/internal/parexplore"
 )
 
@@ -465,5 +467,92 @@ func TestSigOrderIsFirstComeStable(t *testing.T) {
 	}
 	if !sort.IntsAreSorted(idx) {
 		t.Errorf("finding path indices not canonical: %v", idx)
+	}
+}
+
+// TestObsEquivalence checks the observability layer's side-channel contract:
+// attaching a recorder with a live JSONL trace sink changes nothing in the
+// report — statistic totals, finding errors, canonical path indices and the
+// witness/test-vector input values are byte-identical to the untraced run,
+// sequentially and sharded (the -trace on/off analogue of the cache
+// ablation equivalence). The merged counter registry must also agree with
+// the report it shadowed.
+func TestObsEquivalence(t *testing.T) {
+	run := findingTree(6)
+	base := core.Options{Search: core.SearchDFS, GenerateTests: true}
+	ref := core.NewExplorer(run).Explore(base)
+
+	sameEnv := func(a, b map[string]uint64) bool {
+		if len(a) != len(b) {
+			return false
+		}
+		for k, v := range a {
+			if b[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+
+	for _, workers := range []int{1, 4} {
+		var buf bytes.Buffer
+		rec := obs.New(obs.Options{Trace: &buf, Label: "obs-equivalence"})
+		opts := base
+		opts.Obs = rec
+		var rep *core.Report
+		if workers > 1 {
+			rep = parexplore.Explore(run, opts, workers)
+		} else {
+			rep = core.NewExplorer(run).Explore(opts)
+		}
+		snap := rec.Snapshot()
+		rec.Close()
+
+		if !sameStats(ref.Stats, rep.Stats) {
+			t.Errorf("%d workers: stats diverge under tracing\noff: %+v\non:  %+v",
+				workers, ref.Stats, rep.Stats)
+		}
+		if rep.Exhausted != ref.Exhausted {
+			t.Errorf("%d workers: exhausted=%v, want %v", workers, rep.Exhausted, ref.Exhausted)
+		}
+		if len(rep.Findings) != len(ref.Findings) {
+			t.Fatalf("%d workers: %d findings, want %d", workers, len(rep.Findings), len(ref.Findings))
+		}
+		for i := range ref.Findings {
+			if rep.Findings[i].Err.Error() != ref.Findings[i].Err.Error() ||
+				rep.Findings[i].Path != ref.Findings[i].Path ||
+				!sameEnv(rep.Findings[i].Inputs, ref.Findings[i].Inputs) {
+				t.Errorf("%d workers: finding %d = (%v, path %d, %v), want (%v, path %d, %v)",
+					workers, i, rep.Findings[i].Err, rep.Findings[i].Path, rep.Findings[i].Inputs,
+					ref.Findings[i].Err, ref.Findings[i].Path, ref.Findings[i].Inputs)
+			}
+		}
+		if len(rep.TestVectors) != len(ref.TestVectors) {
+			t.Fatalf("%d workers: %d test vectors, want %d",
+				workers, len(rep.TestVectors), len(ref.TestVectors))
+		}
+		for i := range ref.TestVectors {
+			if rep.TestVectors[i].Path != ref.TestVectors[i].Path ||
+				!sameEnv(rep.TestVectors[i].Inputs, ref.TestVectors[i].Inputs) {
+				t.Errorf("%d workers: test vector %d diverges under tracing", workers, i)
+			}
+		}
+
+		// The registry shadowed the same exploration: its explore.* counters
+		// must equal the deterministic report totals, and the trace sink must
+		// have seen one span per path plus the explore root.
+		if got := snap.Counters[core.CtrPaths]; got != uint64(rep.Stats.Paths) {
+			t.Errorf("%d workers: counter %s = %d, want %d", workers, core.CtrPaths, got, rep.Stats.Paths)
+		}
+		if got := snap.Counters[core.CtrQueries]; got != rep.Stats.SolverQueries {
+			t.Errorf("%d workers: counter %s = %d, want %d", workers, core.CtrQueries, got, rep.Stats.SolverQueries)
+		}
+		if want := uint64(rep.Stats.Paths); snap.Phases[obs.PhasePath].Count != want {
+			t.Errorf("%d workers: phase %s count = %d, want %d",
+				workers, obs.PhasePath, snap.Phases[obs.PhasePath].Count, want)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%d workers: trace sink stayed empty", workers)
+		}
 	}
 }

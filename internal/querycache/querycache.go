@@ -43,6 +43,7 @@ import (
 	"sort"
 	"sync"
 
+	"symriscv/internal/obs"
 	"symriscv/internal/smt"
 	"symriscv/internal/solver"
 )
@@ -219,6 +220,8 @@ type Local struct {
 	keyBuf   []byte
 	seenVar  map[uint32]struct{}
 	stats    Stats
+
+	h *obs.Handle
 }
 
 // NewLocal returns a query-elimination layer over the given context and
@@ -239,6 +242,11 @@ func NewLocal(ctx *smt.Context, sol *solver.Solver, shared *Shared) *Local {
 // AttachShared connects the cross-worker store. Must be called before any
 // queries.
 func (l *Local) AttachShared(s *Shared) { l.shared = s }
+
+// SetObs attaches the owning worker's observability handle; each pipeline
+// probe then runs under a cache-probe span (with solver fall-throughs
+// nesting their own solver-check spans inside it).
+func (l *Local) SetObs(h *obs.Handle) { l.h = h }
 
 // Stats returns the accumulated counters.
 func (l *Local) Stats() Stats { return l.stats }
@@ -360,6 +368,7 @@ func (l *Local) CheckModel(pcs []*smt.Term, query *smt.Term) solver.Result {
 // set. push allows a freshly derived full-set model onto the path stack;
 // callers about to assert the pivot's negation pass false.
 func (l *Local) check(pcs []*smt.Term, query *smt.Term, push bool) (solver.Result, Model, bool) {
+	defer l.h.Start(obs.PhaseCacheProbe).End()
 	l.stats.Queries++
 
 	all := append(l.scratch[:0], pcs...)

@@ -11,7 +11,11 @@
 package solver
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"symriscv/internal/bitblast"
+	"symriscv/internal/obs"
 	"symriscv/internal/sat"
 	"symriscv/internal/smt"
 )
@@ -48,12 +52,26 @@ type Stats struct {
 }
 
 // Solver decides QF_BV formulas built in one smt.Context.
+//
+// Solving itself is single-owner (one goroutine drives Check/CheckCore at
+// a time, like the rest of a shard's context), but the facade counters are
+// atomics and the SAT-core stats are snapshotted under a mutex after each
+// solve, so Stats may be read concurrently by a telemetry sampler while a
+// worker is mid-Check.
 type Solver struct {
 	ctx *smt.Context
 	sat *sat.Solver
 	bb  *bitblast.Blaster
 
-	stats Stats
+	checks     atomic.Uint64
+	satAns     atomic.Uint64
+	unsatAns   atomic.Uint64
+	unknownAns atomic.Uint64
+
+	satMu   sync.Mutex // guards satSnap
+	satSnap sat.Stats
+
+	h *obs.Handle
 }
 
 // New returns a solver for terms of ctx.
@@ -69,6 +87,10 @@ func New(ctx *smt.Context) *Solver {
 // Context returns the term context this solver works over.
 func (s *Solver) Context() *smt.Context { return s.ctx }
 
+// SetObs attaches the owning worker's observability handle; every Check /
+// CheckCore then runs under a solver-check span. A nil handle detaches.
+func (s *Solver) SetObs(h *obs.Handle) { s.h = h }
+
 // SetConflictBudget bounds the SAT effort of each Check call; 0 removes the
 // bound. Exceeding the budget yields Unknown.
 func (s *Solver) SetConflictBudget(n uint64) { s.sat.ConflictBudget = n }
@@ -81,20 +103,23 @@ func (s *Solver) Assert(t *smt.Term) {
 // Check reports satisfiability of the asserted facts plus the given
 // assumptions. After Sat, Model and ModelValue read the witness.
 func (s *Solver) Check(assumptions ...*smt.Term) Result {
+	defer s.h.Start(obs.PhaseSolverCheck).End()
 	lits := make([]sat.Lit, len(assumptions))
 	for i, t := range assumptions {
 		lits[i] = s.bb.LitFor(t)
 	}
-	s.stats.Checks++
-	switch s.sat.Solve(lits...) {
+	s.checks.Add(1)
+	res := s.sat.Solve(lits...)
+	s.snapshotSAT()
+	switch res {
 	case sat.Sat:
-		s.stats.SatAns++
+		s.satAns.Add(1)
 		return Sat
 	case sat.Unsat:
-		s.stats.UnsatAns++
+		s.unsatAns.Add(1)
 		return Unsat
 	}
-	s.stats.UnknownAns++
+	s.unknownAns.Add(1)
 	return Unknown
 }
 
@@ -106,17 +131,20 @@ func (s *Solver) Check(assumptions ...*smt.Term) Result {
 // constraint sets, which is what makes its superset-of-unsat rule fire
 // across related queries.
 func (s *Solver) CheckCore(assumptions ...*smt.Term) (Result, []*smt.Term) {
+	defer s.h.Start(obs.PhaseSolverCheck).End()
 	lits := make([]sat.Lit, len(assumptions))
 	for i, t := range assumptions {
 		lits[i] = s.bb.LitFor(t)
 	}
-	s.stats.Checks++
-	switch s.sat.Solve(lits...) {
+	s.checks.Add(1)
+	res := s.sat.Solve(lits...)
+	s.snapshotSAT()
+	switch res {
 	case sat.Sat:
-		s.stats.SatAns++
+		s.satAns.Add(1)
 		return Sat, nil
 	case sat.Unsat:
-		s.stats.UnsatAns++
+		s.unsatAns.Add(1)
 		failed := s.sat.FailedAssumptions()
 		if len(failed) == 0 {
 			return Unsat, nil
@@ -135,8 +163,18 @@ func (s *Solver) CheckCore(assumptions ...*smt.Term) (Result, []*smt.Term) {
 		}
 		return Unsat, core
 	}
-	s.stats.UnknownAns++
+	s.unknownAns.Add(1)
 	return Unknown, nil
+}
+
+// snapshotSAT publishes a copy of the SAT-core counters for concurrent
+// Stats readers. Called by the owning goroutine after each solve; the
+// copy is a handful of words, negligible next to the solve itself.
+func (s *Solver) snapshotSAT() {
+	st := s.sat.Stats()
+	s.satMu.Lock()
+	s.satSnap = st
+	s.satMu.Unlock()
 }
 
 // ModelValue returns the value of t under the model of the last Sat answer.
@@ -193,10 +231,20 @@ func (s *Solver) ModelFor(vars []*smt.Term) smt.MapEnv {
 	return env
 }
 
-// Stats returns cumulative counters.
+// Stats returns cumulative counters. Safe to call from any goroutine,
+// including concurrently with a Check in flight on the owning worker: the
+// facade counters are atomics and the SAT block is the snapshot taken
+// after the most recent completed solve.
 func (s *Solver) Stats() Stats {
-	st := s.stats
-	st.SAT = s.sat.Stats()
+	st := Stats{
+		Checks:     s.checks.Load(),
+		SatAns:     s.satAns.Load(),
+		UnsatAns:   s.unsatAns.Load(),
+		UnknownAns: s.unknownAns.Load(),
+	}
+	s.satMu.Lock()
+	st.SAT = s.satSnap
+	s.satMu.Unlock()
 	return st
 }
 
