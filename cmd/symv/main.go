@@ -13,7 +13,9 @@
 //	symv baseline [-cell-time 20s] [-trials 200000] [shared flags]
 //	symv replay  [-fault E6] [-cycle-trace] [shared flags] name=hexvalue ...
 //	symv trace   [-top 8] TRACE.jsonl
-//	symv lint-table [-v]
+//	symv lint-table [-core microrv32|pipecore|both] [-v]
+//	symv lint-dut  [-core microrv32|pipecore|both] [-allowlist LINTDUT.allow]
+//	               [-sat-probe] [-regs 2] [-v] [shared flags]
 //
 // Every subcommand accepts the shared flag group:
 //
@@ -49,6 +51,7 @@ import (
 	"symriscv/internal/core"
 	"symriscv/internal/cosim"
 	"symriscv/internal/decodecheck"
+	"symriscv/internal/dutlint"
 	"symriscv/internal/faults"
 	"symriscv/internal/harness"
 	"symriscv/internal/iss"
@@ -83,6 +86,8 @@ func main() {
 		err = cmdTrace(os.Args[2:])
 	case "lint-table":
 		err = cmdLintTable(os.Args[2:])
+	case "lint-dut":
+		err = cmdLintDUT(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -110,6 +115,7 @@ commands:
   replay    re-execute a test vector (name=hexvalue pairs) against a fault
   trace     digest a JSONL observability trace (from -trace FILE)
   lint-table  statically verify the decode table (clean + all fault configs)
+  lint-dut    static semantic lint of a core's symbolic transition relation
 
 shared flags (every exploration command):
   -workers N  -cache on|off  -rewrite on|off  -json  -trace FILE  -metrics`)
@@ -731,19 +737,28 @@ func sortedKeys(m map[string]uint64) []string {
 	return keys
 }
 
-// cmdLintTable statically verifies the MicroRV32 decode table for the clean
-// configuration and every single-fault configuration E0–E9, both with and
-// without the M extension. It exits non-zero on any overlap, gap, malformed
-// row, or unexplained deviation; the E0–E2 mask widenings appear as
-// intentional deviations in the output.
+// cmdLintTable statically verifies a core's decode table for the clean
+// configuration and every single-fault configuration, both with and without
+// the M extension. It exits non-zero on any overlap, gap, malformed row, or
+// unexplained deviation; the E0–E2 mask widenings appear as intentional
+// deviations in the output.
 func cmdLintTable(args []string) error {
 	fs := flag.NewFlagSet("lint-table", flag.ExitOnError)
+	coreFlag := fs.String("core", "microrv32", "decode table to verify: microrv32 | pipecore | both")
 	verbose := fs.Bool("v", false, "print the full report for every configuration")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of the report")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	reps := decodecheck.CheckAll()
+	var reps []*decodecheck.Report
+	for _, name := range harness.LintDUTCores(*coreFlag) {
+		switch name {
+		case "microrv32", "pipecore":
+			reps = append(reps, decodecheck.CheckAllFor(decodecheck.CoreKind(name))...)
+		default:
+			return fmt.Errorf("lint-table: unknown core %q (want microrv32, pipecore or both)", name)
+		}
+	}
 	if *jsonOut {
 		if err := json.NewEncoder(os.Stdout).Encode(reps); err != nil {
 			return err
@@ -765,6 +780,86 @@ func cmdLintTable(args []string) error {
 	}
 	if fail > 0 {
 		return fmt.Errorf("lint-table: %d configuration(s) failed", fail)
+	}
+	return nil
+}
+
+// cmdLintDUT runs the static transition-relation analyzer (internal/dutlint)
+// over each selected core's repaired configuration: one symbolic instruction
+// slot with fully-free inputs, then a pure DAG analysis for dead logic,
+// unconstrained inputs, constant candidates, width/strobe discipline and
+// (with -sat-probe) decode-arm selectability. Exit status is non-zero when
+// any finding is not covered by the allowlist.
+func cmdLintDUT(args []string) error {
+	fs := flag.NewFlagSet("lint-dut", flag.ExitOnError)
+	coreFlag := fs.String("core", "both", "core to lint: microrv32 | pipecore | both")
+	allowPath := fs.String("allowlist", "LINTDUT.allow",
+		"allowlist of intentional findings (\"\" lints with no allowlist; the default is optional, an explicit file must exist)")
+	satProbe := fs.Bool("sat-probe", false, "SAT-probe decode-arm selectability (bounded; off by default)")
+	satConflicts := fs.Uint64("sat-conflicts", 0, "conflict budget per probe query (0 = dutlint default)")
+	numRegs := fs.Int("regs", 0, "symbolic initial registers x1..xN (0 = dutlint default)")
+	maxPaths := fs.Int("max-paths", 0, "path bound (0 = exhaustive; truncation downgrades the coverage analyses)")
+	maxTime := fs.Duration("time", 0, "exploration wall-clock bound (0 = unlimited)")
+	verbose := fs.Bool("v", false, "print the per-observable cone-of-influence breakdown")
+	shared := sharedGroup(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	common, finish, err := shared.build("lint-dut")
+	if err != nil {
+		return err
+	}
+	common.Budget = *maxTime
+	common.MaxPaths = *maxPaths
+
+	var allow *dutlint.Allowlist
+	if *allowPath != "" {
+		allow, err = dutlint.LoadAllowlist(*allowPath)
+		if err != nil {
+			explicit := false
+			fs.Visit(func(f *flag.Flag) { explicit = explicit || f.Name == "allowlist" })
+			if !os.IsNotExist(err) || explicit {
+				return err
+			}
+			allow = nil // default allowlist absent: lint without one
+		}
+	}
+
+	fail := 0
+	for _, name := range harness.LintDUTCores(*coreFlag) {
+		rep := harness.LintDUT(name, harness.LintDUTOptions{
+			Common:            common,
+			NumRegs:           *numRegs,
+			SATProbe:          *satProbe,
+			SATConflictBudget: *satConflicts,
+			Allow:             allow,
+		})
+		if rep == nil {
+			return fmt.Errorf("lint-dut: unknown core %q (want microrv32, pipecore or both)", name)
+		}
+		if *shared.jsonOut {
+			if err := rep.WriteJSON(os.Stdout); err != nil {
+				return err
+			}
+		} else {
+			fmt.Print(rep.Format(*verbose))
+		}
+		if !rep.Clean() {
+			fail++
+		}
+	}
+	if allow != nil && !*shared.jsonOut {
+		for _, e := range allow.Stale() {
+			fmt.Printf("note: allowlist line %d (%s %s %s) matched nothing in this run\n",
+				e.Line, e.Class, e.Core, e.Name)
+		}
+	}
+	if err := finish(); err != nil {
+		return err
+	}
+	if fail > 0 {
+		return fmt.Errorf("lint-dut: %d core(s) failed", fail)
 	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"errors"
 	"fmt"
 	"log"
+	"sort"
 	"time"
 
 	"symriscv/internal/core"
@@ -56,10 +57,15 @@ func main() {
 	fmt.Printf("  RTL next PC: 0x%08x\n", m.RTLNext)
 	fmt.Printf("  ISS next PC: 0x%08x\n", m.ISSNext)
 	fmt.Println("\nconcrete test vector (replay these inputs to reproduce):")
-	for name, v := range m.Env {
+	regs := make([]string, 0, len(m.Env))
+	for name := range m.Env {
 		if len(name) > 4 && name[:4] == "reg_" {
-			fmt.Printf("  %-8s = 0x%08x\n", name[4:], v)
+			regs = append(regs, name)
 		}
+	}
+	sort.Strings(regs)
+	for _, name := range regs {
+		fmt.Printf("  %-8s = 0x%08x\n", name[4:], m.Env[name])
 	}
 	fmt.Println("\nThe faulty core treats BNE as BEQ: with equal (or unequal) source")
 	fmt.Println("registers the two models compute different next-PC values, which the")

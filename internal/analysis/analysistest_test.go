@@ -171,6 +171,13 @@ func TestCheckedErrFixture(t *testing.T) {
 	runFixture(t, "checkederr", "symriscv/internal/harness/fixture", CheckedErr)
 }
 
+// TestMapRangeFixture loads the fixture under a presentation-layer import
+// path on purpose: maprange is repo-wide, unlike the kernel-scoped
+// determinism analyzer.
+func TestMapRangeFixture(t *testing.T) {
+	runFixture(t, "maprange", "symriscv/internal/harness/fixture", MapRange)
+}
+
 // TestDirectiveFixture checks suppression semantics: a justified directive
 // silences exactly its analyzer on its line (and the next), an unjustified
 // one is itself reported and suppresses nothing.

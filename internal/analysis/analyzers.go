@@ -7,6 +7,7 @@ func All() []*Analyzer {
 		ClauseImmut,
 		Determinism,
 		HashCons,
+		MapRange,
 	}
 }
 

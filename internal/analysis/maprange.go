@@ -1,0 +1,104 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapRange flags map iteration that feeds an output sink directly. The
+// determinism analyzer already forbids order-sensitive map ranges inside
+// the replay-deterministic kernel; this one guards the *presentation*
+// contract repo-wide: reports, JSONL traces and stdout summaries promise
+// byte-stable output (golden tests diff them), and a `for k := range m`
+// wrapped around a print or write emits records in randomized map order.
+// The fix is always the same shape — collect the keys, sort, then emit —
+// which is why the analyzer needs no sort-detection: a sorted emission
+// loop ranges over a slice, not the map.
+var MapRange = &Analyzer{
+	Name: "maprange",
+	Doc: "forbid ranging over a map directly into an output sink (fmt print, json encode, writer) — " +
+		"report and trace bytes must not depend on map iteration order; iterate sorted keys instead",
+	Run: runMapRange,
+}
+
+// sinkFuncs are package-level output functions: calling one inside a
+// map-range body emits in map order.
+var sinkFuncs = map[string]map[string]bool{
+	"fmt": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+	},
+	"io":            {"WriteString": true},
+	"encoding/json": {"Marshal": true, "MarshalIndent": true},
+}
+
+// sinkMethods are output methods by defining package: the Write family on
+// the stdlib buffer/writer types (and the io.Writer interface itself), and
+// json.Encoder.Encode.
+var sinkMethods = map[string]map[string]bool{
+	"strings":       {"WriteString": true, "Write": true, "WriteByte": true, "WriteRune": true},
+	"bytes":         {"WriteString": true, "Write": true, "WriteByte": true, "WriteRune": true},
+	"bufio":         {"WriteString": true, "Write": true, "WriteByte": true, "WriteRune": true},
+	"os":            {"WriteString": true, "Write": true},
+	"io":            {"Write": true},
+	"encoding/json": {"Encode": true},
+}
+
+func runMapRange(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if sink := outputSink(pass, rng.Body); sink != "" {
+				pass.Reportf(rng.Pos(),
+					"map iteration feeds output sink %s: emission order follows randomized map order; collect the keys, sort, then emit",
+					sink)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// outputSink returns the name of the first output-sink call anywhere in a
+// map-range body, or "". Nested loops are descended into: a sink inside an
+// inner slice range still emits in the outer map's order. (The sorted-
+// emission fix pattern is not nested — keys are collected in one loop and
+// emitted in a separate one over the sorted slice.)
+func outputSink(pass *Pass, body *ast.BlockStmt) string {
+	sink := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if sinkMethods[pkg][fn.Name()] {
+				sink = "(" + pkg + ")." + fn.Name()
+			}
+			return true
+		}
+		if sinkFuncs[pkg][fn.Name()] {
+			sink = pkg + "." + fn.Name()
+		}
+		return true
+	})
+	return sink
+}

@@ -1,0 +1,103 @@
+// Package fixture exercises the maprange analyzer. Unlike determinism,
+// maprange is repo-wide — the import path the harness loads it under does
+// not matter.
+package fixture
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+func printDirect(m map[string]int) {
+	for k, v := range m { // want `map iteration feeds output sink fmt\.Printf`
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+func fprintToWriter(w io.Writer, m map[string]int) {
+	for k := range m { // want `map iteration feeds output sink fmt\.Fprintln`
+		fmt.Fprintln(w, k)
+	}
+}
+
+func jsonlRecords(w io.Writer, m map[string]int) error {
+	enc := json.NewEncoder(w)
+	for k, v := range m { // want `map iteration feeds output sink \(encoding/json\)\.Encode`
+		if err := enc.Encode(struct {
+			K string
+			V int
+		}{k, v}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func buildReport(m map[string]int) string {
+	var b strings.Builder
+	for k := range m { // want `map iteration feeds output sink \(strings\)\.WriteString`
+		b.WriteString(k)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// sinkInInnerLoop still emits in the outer map's order: the nested slice
+// range does not launder the nondeterminism.
+func sinkInInnerLoop(m map[string][]string) {
+	for _, vs := range m { // want `map iteration feeds output sink fmt\.Println`
+		for _, v := range vs {
+			fmt.Println(v)
+		}
+	}
+}
+
+func stderrDump(m map[string]int) {
+	for k := range m { // want `map iteration feeds output sink \(os\)\.WriteString`
+		os.Stderr.WriteString(k)
+	}
+}
+
+// sortedEmission is the sanctioned fix pattern: collect, sort elsewhere,
+// then range over the slice. The collection loop has no sink and the
+// emission loop is not a map range.
+func sortedEmission(w io.Writer, m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	// (caller sorts keys)
+	for _, k := range keys {
+		fmt.Fprintln(w, k, m[k])
+	}
+}
+
+// pureAccumulation never produces bytes: allowed.
+func pureAccumulation(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// sprintfIntoMap formats values but writes them into another map: the
+// formatting is order-insensitive, allowed.
+func sprintfIntoMap(m map[string]int) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = fmt.Sprintf("%d", v)
+	}
+	return out
+}
+
+// allowedDebugDump is covered by a symlint allow directive.
+func allowedDebugDump(m map[string]int) {
+	//symlint:allow maprange -- debug-only dump, order irrelevant
+	for k := range m {
+		fmt.Println(k)
+	}
+}

@@ -1,5 +1,6 @@
-// Package decodecheck statically verifies the MicroRV32 mask/match decode
-// table against the independent internal/riscv reference decoder, before
+// Package decodecheck statically verifies a DUT's mask/match decode table
+// (microrv32 or pipecore) against the independent internal/riscv reference
+// decoder, before
 // any symbolic run: every fault hunt (Table II) forks one exploration path
 // per decode-table row, so a table that overlaps where semantics differ or
 // deviates from the RV32 spec makes the hunt chase decode artefacts
@@ -25,13 +26,38 @@ import (
 
 	"symriscv/internal/faults"
 	"symriscv/internal/microrv32"
+	"symriscv/internal/pipecore"
 	"symriscv/internal/riscv"
+)
+
+// Entry is one decode-table row under verification. It aliases the
+// microrv32 export (the original DUT) so historical call sites keep
+// working; pipecore rows are converted by entriesFor.
+type Entry = microrv32.TableEntry
+
+// CoreKind selects which DUT's decode table a Config verifies.
+type CoreKind string
+
+// Supported cores. The zero value selects microrv32 for compatibility
+// with pre-existing call sites.
+const (
+	CoreMicroRV32 CoreKind = "microrv32"
+	CorePipecore  CoreKind = "pipecore"
 )
 
 // Config selects the decode-table build to verify.
 type Config struct {
+	Core    CoreKind // "" means CoreMicroRV32
 	Faults  faults.Set
 	EnableM bool
+}
+
+// core returns the effective core selector, defaulting to microrv32.
+func (c Config) core() CoreKind {
+	if c.Core == "" {
+		return CoreMicroRV32
+	}
+	return c.Core
 }
 
 func (c Config) String() string {
@@ -39,13 +65,28 @@ func (c Config) String() string {
 	if c.EnableM {
 		m = "rv32im"
 	}
-	return fmt.Sprintf("%s faults=%s", m, c.Faults)
+	return fmt.Sprintf("%s %s faults=%s", c.core(), m, c.Faults)
+}
+
+// entriesFor builds the decode table of the configured core.
+func entriesFor(cfg Config) []Entry {
+	switch cfg.core() {
+	case CorePipecore:
+		rows := pipecore.DecodeTableEntries(cfg.Faults, cfg.EnableM)
+		out := make([]Entry, len(rows))
+		for i, e := range rows {
+			out[i] = Entry(e)
+		}
+		return out
+	default:
+		return microrv32.DecodeTableEntries(cfg.Faults, cfg.EnableM)
+	}
 }
 
 // Overlap is a pair of rows that both match some instruction word.
 type Overlap struct {
 	I, J int // row indices in walk order
-	A, B microrv32.TableEntry
+	A, B Entry
 	Word uint32 // counterexample word matching both rows
 }
 
@@ -139,12 +180,33 @@ func (r *Report) Format() string {
 
 // Check verifies the decode table built for cfg.
 func Check(cfg Config) *Report {
-	return CheckEntries(microrv32.DecodeTableEntries(cfg.Faults, cfg.EnableM), cfg)
+	return CheckEntries(entriesFor(cfg), cfg)
+}
+
+// FindOverlaps reports every pair of rows that both match some word: rows
+// A and B overlap iff their match bits agree on the intersection of their
+// masks; the union of the match bits is then a concrete witness (valid
+// given well-formedness). Exposed for dutlint, which cross-checks its
+// SAT-probed decode-arm reachability against this purely bitwise answer.
+func FindOverlaps(entries []Entry) []Overlap {
+	var overlaps []Overlap
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			a, b := entries[i], entries[j]
+			if (a.Match^b.Match)&(a.Mask&b.Mask) != 0 {
+				continue
+			}
+			overlaps = append(overlaps, Overlap{
+				I: i, J: j, A: a, B: b, Word: a.Match | b.Match,
+			})
+		}
+	}
+	return overlaps
 }
 
 // CheckEntries verifies an explicit entry list (exposed so tests can
 // inject deliberately broken rows).
-func CheckEntries(entries []microrv32.TableEntry, cfg Config) *Report {
+func CheckEntries(entries []Entry, cfg Config) *Report {
 	rep := &Report{Config: cfg, Rows: len(entries)}
 
 	for i, e := range entries {
@@ -153,26 +215,13 @@ func CheckEntries(entries []microrv32.TableEntry, cfg Config) *Report {
 		}
 	}
 
-	// Pairwise overlap: rows A and B both match some word iff their match
-	// bits agree on the intersection of their masks; the union of the match
-	// bits is then a concrete witness (valid given well-formedness).
-	for i := 0; i < len(entries); i++ {
-		for j := i + 1; j < len(entries); j++ {
-			a, b := entries[i], entries[j]
-			if (a.Match^b.Match)&(a.Mask&b.Mask) != 0 {
-				continue
-			}
-			rep.Overlaps = append(rep.Overlaps, Overlap{
-				I: i, J: j, A: a, B: b, Word: a.Match | b.Match,
-			})
-		}
-	}
+	rep.Overlaps = FindOverlaps(entries)
 
 	// Completeness/correctness sweep against the reference decoder.
-	clean := microrv32.DecodeTableEntries(faults.None, cfg.EnableM)
+	clean := entriesFor(Config{Core: cfg.Core, Faults: faults.None, EnableM: cfg.EnableM})
 	for _, w := range sweepWords() {
 		rep.Checked++
-		want := referenceDecode(w, cfg.EnableM)
+		want := referenceDecode(w, cfg)
 		got := tableDecode(entries, w)
 		if got == want {
 			continue
@@ -195,7 +244,7 @@ func CheckEntries(entries []microrv32.TableEntry, cfg Config) *Report {
 }
 
 // tableDecode walks the entries in order, as the core's decode stage does.
-func tableDecode(entries []microrv32.TableEntry, w uint32) string {
+func tableDecode(entries []Entry, w uint32) string {
 	for _, e := range entries {
 		if w&e.Mask == e.Match {
 			return e.Op
@@ -205,13 +254,22 @@ func tableDecode(entries []microrv32.TableEntry, w uint32) string {
 }
 
 // referenceDecode is the spec verdict: the independent riscv decoder,
-// restricted to the configured extension set.
-func referenceDecode(w uint32, enableM bool) string {
+// restricted to the configured extension set and the core's implemented
+// instruction subset (pipecore raises illegal-instruction for Zicsr and
+// MRET by design — see the pipecore package comment — so the reference
+// must agree there, or every CSR word would be reported as a gap).
+func referenceDecode(w uint32, cfg Config) string {
 	in := riscv.Decode(w)
 	mn := in.Mn.String()
-	if !enableM {
+	if !cfg.EnableM {
 		switch mn {
 		case "mul", "mulh", "mulhsu", "mulhu", "div", "divu", "rem", "remu":
+			return "illegal"
+		}
+	}
+	if cfg.core() == CorePipecore {
+		switch mn {
+		case "csrrw", "csrrs", "csrrc", "csrrwi", "csrrsi", "csrrci", "mret":
 			return "illegal"
 		}
 	}
@@ -228,7 +286,7 @@ func attributeFault(cfg Config, w uint32, got string) (faults.Fault, bool) {
 		if !cfg.Faults.Has(f) {
 			continue
 		}
-		only := microrv32.DecodeTableEntries(faults.Only(f), cfg.EnableM)
+		only := entriesFor(Config{Core: cfg.Core, Faults: faults.Only(f), EnableM: cfg.EnableM})
 		if tableDecode(only, w) == got {
 			return f, true
 		}
@@ -303,13 +361,18 @@ func catalogWords() []uint32 {
 
 // CheckAll verifies the clean configuration plus every single-fault
 // configuration E0–E9, for both extension sets, and returns the reports
-// in that order.
-func CheckAll() []*Report {
+// in that order. It covers the original microrv32 DUT; CheckAllFor runs
+// the same grid for any supported core.
+func CheckAll() []*Report { return CheckAllFor(CoreMicroRV32) }
+
+// CheckAllFor verifies the full configuration grid (clean + E0–E9, with
+// and without M) for the given core.
+func CheckAllFor(core CoreKind) []*Report {
 	var reps []*Report
 	for _, enableM := range []bool{false, true} {
-		reps = append(reps, Check(Config{Faults: faults.None, EnableM: enableM}))
+		reps = append(reps, Check(Config{Core: core, Faults: faults.None, EnableM: enableM}))
 		for _, f := range faults.All() {
-			reps = append(reps, Check(Config{Faults: faults.Only(f), EnableM: enableM}))
+			reps = append(reps, Check(Config{Core: core, Faults: faults.Only(f), EnableM: enableM}))
 		}
 	}
 	return reps

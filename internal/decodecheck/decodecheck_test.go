@@ -148,3 +148,70 @@ func TestCheckAll(t *testing.T) {
 		}
 	}
 }
+
+// TestPipecoreCleanTable verifies the second DUT's decode table against the
+// reference decoder restricted to pipecore's implemented subset (no Zicsr,
+// no MRET).
+func TestPipecoreCleanTable(t *testing.T) {
+	for _, enableM := range []bool{false, true} {
+		rep := Check(Config{Core: CorePipecore, Faults: faults.None, EnableM: enableM})
+		if !rep.OK() {
+			t.Errorf("pipecore clean table (enableM=%v) not OK:\n%s", enableM, rep.Format())
+		}
+		if len(rep.Deviation) != 0 {
+			t.Errorf("pipecore clean table (enableM=%v) reported deviations:\n%s", enableM, rep.Format())
+		}
+		if rep.Checked < 7000 {
+			t.Errorf("sweep too small: %d words", rep.Checked)
+		}
+	}
+}
+
+// TestPipecoreFaultGrid runs the full configuration grid for pipecore: the
+// decode faults E0–E2 must surface as intentional deviations on the widened
+// shift rows, exactly as for microrv32.
+func TestPipecoreFaultGrid(t *testing.T) {
+	reps := CheckAllFor(CorePipecore)
+	if len(reps) != 2*(1+int(faults.NumFaults)) {
+		t.Fatalf("CheckAllFor returned %d reports", len(reps))
+	}
+	sawDecodeFault := 0
+	for _, rep := range reps {
+		if !rep.OK() {
+			t.Errorf("pipecore config %s failed:\n%s", rep.Config, rep.Format())
+		}
+		if len(rep.Deviation) > 0 {
+			sawDecodeFault++
+			for _, d := range rep.Deviation {
+				if !d.Intentional {
+					t.Errorf("pipecore config %s: unintentional deviation %s", rep.Config, d)
+				}
+			}
+		}
+	}
+	// E0, E1, E2 for both M settings.
+	if sawDecodeFault != 6 {
+		t.Errorf("expected 6 configurations with decode deviations, got %d", sawDecodeFault)
+	}
+}
+
+// TestPipecoreCSRGap proves the core-specific reference restriction works
+// both ways: a pipecore table that *did* accept CSR instructions would be
+// flagged against the restricted reference.
+func TestPipecoreCSRGap(t *testing.T) {
+	entries := entriesFor(Config{Core: CorePipecore, EnableM: true})
+	entries = append(entries, Entry{Mask: 0x707f, Match: 0x1073, Op: "csrrw"})
+	rep := CheckEntries(entries, Config{Core: CorePipecore, Faults: faults.None, EnableM: true})
+	if rep.OK() {
+		t.Fatalf("pipecore table with a csrrw row passed the restricted reference")
+	}
+	found := false
+	for _, g := range rep.Gaps {
+		if g.Got == "csrrw" && g.Want == "illegal" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no csrrw gap reported:\n%s", rep.Format())
+	}
+}

@@ -1,0 +1,113 @@
+package dutlint
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+// AllowEntry is one allowlist line: a finding matches when its class and
+// name match (name supports a trailing-* prefix glob) for the given core
+// ("*" covers both cores).
+type AllowEntry struct {
+	Class string
+	Core  string
+	Name  string
+	Line  int // 1-based source line, for stale-entry reporting
+}
+
+func (e AllowEntry) matches(core string, f Finding) bool {
+	if e.Class != f.Class {
+		return false
+	}
+	if e.Core != "*" && e.Core != core {
+		return false
+	}
+	if strings.HasSuffix(e.Name, "*") {
+		return strings.HasPrefix(f.Name, strings.TrimSuffix(e.Name, "*"))
+	}
+	return e.Name == f.Name
+}
+
+// Allowlist holds the intentional findings a lint run tolerates: E-series
+// fault hooks, speculative-prefetch inputs, and similar by-design
+// structures. The file format is line-based:
+//
+//	// comment (also full-line #)
+//	<class> <core> <name>
+//
+// where <core> is microrv32, pipecore, or *, and <name> may end in * for
+// a prefix match. Blank lines are ignored.
+type Allowlist struct {
+	entries []AllowEntry
+	used    map[int]bool // entry index -> matched something
+}
+
+// ParseAllowlist parses the allowlist format from a string.
+func ParseAllowlist(text string) (*Allowlist, error) {
+	al := &Allowlist{used: make(map[int]bool)}
+	for i, line := range strings.Split(text, "\n") {
+		s := strings.TrimSpace(line)
+		if idx := strings.Index(s, "//"); idx >= 0 {
+			s = strings.TrimSpace(s[:idx])
+		}
+		// Full-line # comments only: finding names may contain '#' (dbus#0).
+		if strings.HasPrefix(s, "#") {
+			s = ""
+		}
+		if s == "" {
+			continue
+		}
+		fields := strings.Fields(s)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("allowlist line %d: want \"<class> <core> <name>\", got %q", i+1, line)
+		}
+		if _, ok := classOrder[fields[0]]; !ok {
+			return nil, fmt.Errorf("allowlist line %d: unknown finding class %q", i+1, fields[0])
+		}
+		al.entries = append(al.entries, AllowEntry{
+			Class: fields[0], Core: fields[1], Name: fields[2], Line: i + 1,
+		})
+	}
+	return al, nil
+}
+
+// LoadAllowlist reads and parses an allowlist file.
+func LoadAllowlist(path string) (*Allowlist, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	al, err := ParseAllowlist(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return al, nil
+}
+
+// Allows reports whether the finding is covered, recording entry usage for
+// Stale.
+func (al *Allowlist) Allows(core string, f Finding) bool {
+	hit := false
+	for i, e := range al.entries {
+		if e.matches(core, f) {
+			al.used[i] = true
+			hit = true
+		}
+	}
+	return hit
+}
+
+// Stale returns the entries that matched no finding across every Allows
+// call so far — candidates for deletion once the underlying defect is
+// fixed. Reported as a note, never a failure: an entry for a core the
+// current invocation did not lint is not stale.
+func (al *Allowlist) Stale() []AllowEntry {
+	var out []AllowEntry
+	for i, e := range al.entries {
+		if !al.used[i] {
+			out = append(out, e)
+		}
+	}
+	return out
+}

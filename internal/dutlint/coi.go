@@ -1,0 +1,313 @@
+package dutlint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"symriscv/internal/smt"
+)
+
+// support maps an input variable to the mask of its bits that influence
+// some output bit. Maps are shared aggressively (a "smeared" term hands
+// the same map to every output bit), so callers must copy before mutating.
+type support map[*smt.Term]uint64
+
+func (s support) clone() support {
+	out := make(support, len(s))
+	for v, m := range s {
+		out[v] = m
+	}
+	return out
+}
+
+// merge returns a support containing both operands, reusing a side when
+// the other is empty.
+func mergeSupport(a, b support) support {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := a.clone()
+	for v, m := range b {
+		out[v] |= m
+	}
+	return out
+}
+
+func supportEqual(a, b support) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v, m := range a {
+		if b[v] != m {
+			return false
+		}
+	}
+	return true
+}
+
+// termSupport is the bit-level input support of one term: perBit[i] is the
+// support of output bit i (a single entry for Boolean terms). flat marks
+// that every entry aliases one shared map.
+type termSupport struct {
+	perBit []support
+	flat   bool
+}
+
+func flatSupport(n int, s support) termSupport {
+	pb := make([]support, n)
+	for i := range pb {
+		pb[i] = s
+	}
+	return termSupport{perBit: pb, flat: true}
+}
+
+// all returns the union over every bit.
+func (t termSupport) all() support {
+	if t.flat && len(t.perBit) > 0 {
+		return t.perBit[0]
+	}
+	var u support
+	for _, s := range t.perBit {
+		u = mergeSupport(u, s)
+	}
+	if u == nil {
+		u = support{}
+	}
+	return u
+}
+
+// coiAnalyzer computes bit-level cones of influence over the shared DAG.
+// The transfer functions are exact for the structural operators (extract,
+// concat, extensions, constant shifts, ite) and conservative ("smear":
+// every output bit depends on every operand bit) for the arithmetic and
+// comparison operators, where bit-precise tracking would cost more than
+// it tells.
+type coiAnalyzer struct {
+	memo map[*smt.Term]termSupport
+}
+
+func newCOIAnalyzer() *coiAnalyzer {
+	return &coiAnalyzer{memo: make(map[*smt.Term]termSupport)}
+}
+
+func (a *coiAnalyzer) bits(t *smt.Term) termSupport {
+	if ts, ok := a.memo[t]; ok {
+		return ts
+	}
+	ts := a.compute(t)
+	a.memo[t] = ts
+	return ts
+}
+
+// width1 returns the per-bit slot count: width for bit-vectors, 1 for Bool.
+func width1(t *smt.Term) int {
+	if w := t.Width(); w > 0 {
+		return w
+	}
+	return 1
+}
+
+func (a *coiAnalyzer) compute(t *smt.Term) termSupport {
+	n := width1(t)
+	switch t.Kind() {
+	case smt.KConst, smt.KTrue, smt.KFalse:
+		return flatSupport(n, support{})
+	case smt.KVar:
+		pb := make([]support, n)
+		for i := range pb {
+			pb[i] = support{t: uint64(1) << uint(i)}
+		}
+		return termSupport{perBit: pb}
+	case smt.KExtract:
+		src := a.bits(t.Arg(0))
+		hi, lo := t.ExtractBounds()
+		return termSupport{perBit: src.perBit[lo : hi+1], flat: src.flat}
+	case smt.KConcat:
+		hiPart := a.bits(t.Arg(0))
+		loPart := a.bits(t.Arg(1))
+		pb := make([]support, 0, n)
+		pb = append(pb, loPart.perBit...)
+		pb = append(pb, hiPart.perBit...)
+		return termSupport{perBit: pb}
+	case smt.KZExt:
+		src := a.bits(t.Arg(0))
+		pb := make([]support, n)
+		copy(pb, src.perBit)
+		empty := support{}
+		for i := len(src.perBit); i < n; i++ {
+			pb[i] = empty
+		}
+		return termSupport{perBit: pb}
+	case smt.KSExt:
+		src := a.bits(t.Arg(0))
+		pb := make([]support, n)
+		copy(pb, src.perBit)
+		sign := src.perBit[len(src.perBit)-1]
+		for i := len(src.perBit); i < n; i++ {
+			pb[i] = sign
+		}
+		return termSupport{perBit: pb}
+	case smt.KIte:
+		cond := a.bits(t.Arg(0)).all()
+		x := a.bits(t.Arg(1))
+		y := a.bits(t.Arg(2))
+		pb := make([]support, n)
+		for i := range pb {
+			pb[i] = mergeSupport(cond, mergeSupport(x.perBit[i], y.perBit[i]))
+		}
+		return termSupport{perBit: pb}
+	case smt.KAnd, smt.KOr, smt.KXor, smt.KNot:
+		// Bitwise operators are bit-parallel: output bit i depends only
+		// on the operands' bit i.
+		if t.Kind() == smt.KNot {
+			src := a.bits(t.Arg(0))
+			return termSupport{perBit: src.perBit, flat: src.flat}
+		}
+		x := a.bits(t.Arg(0))
+		y := a.bits(t.Arg(1))
+		pb := make([]support, n)
+		for i := range pb {
+			pb[i] = mergeSupport(x.perBit[i], y.perBit[i])
+		}
+		return termSupport{perBit: pb}
+	case smt.KShl, smt.KLshr:
+		// Constant shifts relocate the window exactly; symbolic shifts smear.
+		if sh := t.Arg(1); sh.IsConst() {
+			src := a.bits(t.Arg(0))
+			s := int(sh.ConstVal())
+			empty := support{}
+			pb := make([]support, n)
+			for i := range pb {
+				var from int
+				if t.Kind() == smt.KShl {
+					from = i - s
+				} else {
+					from = i + s
+				}
+				if from >= 0 && from < len(src.perBit) {
+					pb[i] = src.perBit[from]
+				} else {
+					pb[i] = empty
+				}
+			}
+			return termSupport{perBit: pb}
+		}
+	}
+	// Smear: every output bit depends on the full support of every operand.
+	var u support
+	for i := 0; i < t.NumArgs(); i++ {
+		u = mergeSupport(u, a.bits(t.Arg(i)).all())
+	}
+	if u == nil {
+		u = support{}
+	}
+	return flatSupport(n, u)
+}
+
+// reachable marks every term reachable from the given roots.
+func reachable(roots []*smt.Term) map[*smt.Term]bool {
+	seen := make(map[*smt.Term]bool)
+	var stack []*smt.Term
+	for _, r := range roots {
+		if r != nil && !seen[r] {
+			seen[r] = true
+			stack = append(stack, r)
+		}
+	}
+	for len(stack) > 0 {
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for i := 0; i < t.NumArgs(); i++ {
+			if a := t.Arg(i); !seen[a] {
+				seen[a] = true
+				stack = append(stack, a)
+			}
+		}
+	}
+	return seen
+}
+
+// formatSupport renders a support set as sorted "var[h:l]" slices, with
+// non-contiguous masks split into maximal runs.
+func formatSupport(s support) []string {
+	names := make([]*smt.Term, 0, len(s))
+	for v := range s {
+		names = append(names, v)
+	}
+	sort.Slice(names, func(i, j int) bool { return names[i].Name() < names[j].Name() })
+	var out []string
+	for _, v := range names {
+		m := s[v]
+		for lo := 0; lo < 64; lo++ {
+			if m&(1<<uint(lo)) == 0 {
+				continue
+			}
+			hi := lo
+			for hi+1 < 64 && m&(1<<uint(hi+1)) != 0 {
+				hi++
+			}
+			if lo == 0 && hi == v.Width()-1 {
+				out = append(out, v.Name())
+			} else if lo == hi {
+				out = append(out, fmt.Sprintf("%s[%d]", v.Name(), lo))
+			} else {
+				out = append(out, fmt.Sprintf("%s[%d:%d]", v.Name(), hi, lo))
+			}
+			lo = hi
+		}
+	}
+	return out
+}
+
+// coiEntry builds the report entry for one named observable, merging the
+// bit supports of every per-path variant of the root.
+func coiEntry(a *coiAnalyzer, name string, agg *rootAgg) COIEntry {
+	width := 0
+	for _, t := range agg.order {
+		if w := t.Width(); w > width {
+			width = w
+		}
+	}
+	n := width
+	if n == 0 {
+		n = 1
+	}
+	merged := make([]support, n)
+	for i := range merged {
+		merged[i] = support{}
+	}
+	for _, t := range agg.order {
+		ts := a.bits(t)
+		for i, s := range ts.perBit {
+			merged[i] = mergeSupport(merged[i], s)
+		}
+	}
+	entry := COIEntry{Class: agg.class, Name: name, Width: width}
+	all := support{}
+	for _, s := range merged {
+		all = mergeSupport(all, s)
+	}
+	for _, dep := range formatSupport(all) {
+		// Inputs lists whole variables, not slices.
+		if i := strings.IndexByte(dep, '['); i >= 0 {
+			dep = dep[:i]
+		}
+		if k := len(entry.Inputs); k == 0 || entry.Inputs[k-1] != dep {
+			entry.Inputs = append(entry.Inputs, dep)
+		}
+	}
+	// Contiguous same-support segments, high to low.
+	for hi := n - 1; hi >= 0; {
+		lo := hi
+		for lo-1 >= 0 && supportEqual(merged[lo-1], merged[hi]) {
+			lo--
+		}
+		entry.Bits = append(entry.Bits, BitRange{Hi: hi, Lo: lo, Deps: formatSupport(merged[hi])})
+		hi = lo - 1
+	}
+	return entry
+}

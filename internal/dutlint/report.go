@@ -1,0 +1,129 @@
+package dutlint
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Format renders the human-readable report.
+func (r *Report) Format(verbose bool) string {
+	var b strings.Builder
+	verdict := "CLEAN"
+	if failed := r.Failed(); len(failed) > 0 {
+		verdict = fmt.Sprintf("FAIL (%d findings)", len(failed))
+	} else if len(r.Findings) > 0 {
+		verdict = fmt.Sprintf("CLEAN (%d allowed findings)", len(r.Findings))
+	}
+	exh := "exhausted"
+	if !r.Exhausted {
+		exh = "truncated"
+	}
+	fmt.Fprintf(&b, "dut-lint [%s]: %s\n", r.Core, verdict)
+	fmt.Fprintf(&b, "  %d paths (%s), %d terms, %d free inputs, drive %v, analyze %v\n",
+		r.Paths, exh, r.Terms, r.Inputs, r.DriveElapsed.Round(1000000), r.AnalyzeElapsed.Round(1000000))
+	if r.Arms > 0 {
+		fmt.Fprintf(&b, "  %d decode arms SAT-probed\n", r.Arms)
+	}
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "  %s\n", f)
+	}
+	if verbose {
+		for _, e := range r.COI {
+			fmt.Fprintf(&b, "  coi %s.%s (%d bits) <- %s\n", e.Class, e.Name, e.Width, strings.Join(e.Inputs, ", "))
+			for _, br := range e.Bits {
+				if br.Hi == br.Lo {
+					fmt.Fprintf(&b, "    bit  [%d]     <- %s\n", br.Hi, strings.Join(br.Deps, ", "))
+				} else {
+					fmt.Fprintf(&b, "    bits [%d:%d] <- %s\n", br.Hi, br.Lo, strings.Join(br.Deps, ", "))
+				}
+			}
+		}
+	}
+	return b.String()
+}
+
+// WriteJSON emits the machine-readable report. Like the internal/obs JSONL
+// schema, fields are hand-encoded so the byte layout is part of the
+// contract (stable ordering, golden-testable): wall-clock durations are
+// excluded, everything else is emitted in a fixed order with findings and
+// COI entries pre-sorted by Run.
+//
+//	{"v":1,"core":"...","paths":N,"exhausted":true,"terms":N,"inputs":N,
+//	 "arms":N,"findings":[{"class":"...","name":"...","detail":"...",
+//	 "allowed":false}],"coi":[{"class":"state","name":"pc_next","width":32,
+//	 "inputs":["..."],"bits":[{"hi":31,"lo":0,"deps":["..."]}]}]}
+func (r *Report) WriteJSON(w io.Writer) error {
+	var buf []byte
+	buf = append(buf, `{"v":1,"core":`...)
+	buf = strconv.AppendQuote(buf, r.Core)
+	buf = append(buf, `,"paths":`...)
+	buf = strconv.AppendInt(buf, int64(r.Paths), 10)
+	buf = append(buf, `,"exhausted":`...)
+	buf = strconv.AppendBool(buf, r.Exhausted)
+	buf = append(buf, `,"terms":`...)
+	buf = strconv.AppendInt(buf, int64(r.Terms), 10)
+	buf = append(buf, `,"inputs":`...)
+	buf = strconv.AppendInt(buf, int64(r.Inputs), 10)
+	buf = append(buf, `,"arms":`...)
+	buf = strconv.AppendInt(buf, int64(r.Arms), 10)
+	buf = append(buf, `,"findings":[`...)
+	for i, f := range r.Findings {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `{"class":`...)
+		buf = strconv.AppendQuote(buf, f.Class)
+		buf = append(buf, `,"name":`...)
+		buf = strconv.AppendQuote(buf, f.Name)
+		buf = append(buf, `,"detail":`...)
+		buf = strconv.AppendQuote(buf, f.Detail)
+		buf = append(buf, `,"allowed":`...)
+		buf = strconv.AppendBool(buf, f.Allowed)
+		buf = append(buf, '}')
+	}
+	buf = append(buf, `],"coi":[`...)
+	for i, e := range r.COI {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, `{"class":`...)
+		buf = strconv.AppendQuote(buf, string(e.Class))
+		buf = append(buf, `,"name":`...)
+		buf = strconv.AppendQuote(buf, e.Name)
+		buf = append(buf, `,"width":`...)
+		buf = strconv.AppendInt(buf, int64(e.Width), 10)
+		buf = append(buf, `,"inputs":`...)
+		buf = appendStrings(buf, e.Inputs)
+		buf = append(buf, `,"bits":[`...)
+		for j, br := range e.Bits {
+			if j > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, `{"hi":`...)
+			buf = strconv.AppendInt(buf, int64(br.Hi), 10)
+			buf = append(buf, `,"lo":`...)
+			buf = strconv.AppendInt(buf, int64(br.Lo), 10)
+			buf = append(buf, `,"deps":`...)
+			buf = appendStrings(buf, br.Deps)
+			buf = append(buf, '}')
+		}
+		buf = append(buf, `]}`...)
+	}
+	buf = append(buf, `]}`...)
+	buf = append(buf, '\n')
+	_, err := w.Write(buf)
+	return err
+}
+
+func appendStrings(buf []byte, ss []string) []byte {
+	buf = append(buf, '[')
+	for i, s := range ss {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = strconv.AppendQuote(buf, s)
+	}
+	return append(buf, ']')
+}

@@ -172,6 +172,12 @@ func (c *Core) SetReg(i int, v *smt.Term) {
 // Reg returns the current value of register i.
 func (c *Core) Reg(i int) *smt.Term { return c.regs[i] }
 
+// CSR returns the architectural storage term of the given CSR, or nil when
+// the CSR has never been initialised or written. It exists for analysis
+// tooling (dutlint collects CSR next-state roots); the core itself reads CSRs
+// through csrStored, which substitutes the architectural reset value.
+func (c *Core) CSR(addr uint16) *smt.Term { return c.csr[addr] }
+
 // Cycles returns the clock-cycle count since reset.
 func (c *Core) Cycles() uint64 { return c.cycle }
 

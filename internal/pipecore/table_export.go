@@ -1,0 +1,54 @@
+package pipecore
+
+import (
+	"symriscv/internal/faults"
+)
+
+// opNames maps each micro-op to the riscv-package mnemonic it implements,
+// so the static decode-table verifier can compare the table against the
+// independent reference decoder without a private mapping of its own.
+// Zicsr and MRET have no rows: pipecore decodes them as illegal.
+var opNames = [...]string{
+	opIllegal: "illegal",
+	opLUI:     "lui", opAUIPC: "auipc", opJAL: "jal", opJALR: "jalr",
+	opBEQ: "beq", opBNE: "bne", opBLT: "blt", opBGE: "bge", opBLTU: "bltu", opBGEU: "bgeu",
+	opLB: "lb", opLH: "lh", opLW: "lw", opLBU: "lbu", opLHU: "lhu",
+	opSB: "sb", opSH: "sh", opSW: "sw",
+	opADDI: "addi", opSLTI: "slti", opSLTIU: "sltiu",
+	opXORI: "xori", opORI: "ori", opANDI: "andi",
+	opSLLI: "slli", opSRLI: "srli", opSRAI: "srai",
+	opADD: "add", opSUB: "sub", opSLL: "sll", opSLT: "slt", opSLTU: "sltu",
+	opXOR: "xor", opSRL: "srl", opSRA: "sra", opOR: "or", opAND: "and",
+	opMUL: "mul", opMULH: "mulh", opMULHSU: "mulhsu", opMULHU: "mulhu",
+	opDIV: "div", opDIVU: "divu", opREM: "rem", opREMU: "remu",
+	opFENCE: "fence", opECALL: "ecall", opEBREAK: "ebreak",
+	opWFI: "wfi",
+}
+
+func (o opKind) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return "op?"
+}
+
+// TableEntry is an exported view of one decode-table row: the instruction
+// matches when insn&Mask == Match and decodes to the micro-op implementing
+// the mnemonic Op.
+type TableEntry struct {
+	Mask, Match uint32
+	Op          string
+}
+
+// DecodeTableEntries builds the decode table for the given fault set and
+// M-extension switch and returns it in walk order. It exists for the
+// static decode-table verifier (internal/decodecheck) and tooling; the
+// core itself keeps using the unexported representation.
+func DecodeTableEntries(f faults.Set, enableM bool) []TableEntry {
+	table := buildTable(f, enableM)
+	out := make([]TableEntry, len(table))
+	for i, e := range table {
+		out[i] = TableEntry{Mask: e.mask, Match: e.match, Op: e.op.String()}
+	}
+	return out
+}

@@ -15,7 +15,7 @@ func (c *Context) Var(name string, width int) *Term {
 	checkWidth(width)
 	if prev, ok := c.varsByName[name]; ok {
 		if prev.Width() != width {
-			panic(fmt.Sprintf("smt: variable %q redeclared at width %d (was %d)", name, width, prev.Width()))
+			buildPanic("var", "variable %q redeclared at width %d (was %d)", name, width, prev.Width())
 		}
 		return prev
 	}
@@ -184,7 +184,7 @@ func (c *Context) URem(a, b *Term) *Term {
 // Neg returns -a (two's complement).
 func (c *Context) Neg(a *Term) *Term {
 	if a.width == 0 {
-		panic("smt: bvneg: Boolean operand")
+		buildPanic("bvneg", "Boolean operand where bit-vector expected")
 	}
 	w := a.Width()
 	if a.IsConst() {
@@ -274,7 +274,7 @@ func (c *Context) Xor(a, b *Term) *Term {
 // Not returns the bitwise complement of a.
 func (c *Context) Not(a *Term) *Term {
 	if a.width == 0 {
-		panic("smt: bvnot: Boolean operand")
+		buildPanic("bvnot", "Boolean operand where bit-vector expected")
 	}
 	w := a.Width()
 	if a.IsConst() {
@@ -363,17 +363,22 @@ func (c *Context) Ashr(a, b *Term) *Term {
 			return c.BV(w, v)
 		}
 	}
+	// Arithmetic shift fixed points: zero and all-ones replicate their sign
+	// bit, so any shift amount leaves them unchanged.
+	if a.IsConst() && (a.val == 0 || a.val == mask(w)) {
+		return a
+	}
 	return c.mk2(KAshr, w, a, b)
 }
 
 // Concat returns the concatenation hi ++ lo, with hi in the upper bits.
 func (c *Context) Concat(hi, lo *Term) *Term {
 	if hi.width == 0 || lo.width == 0 {
-		panic("smt: concat: Boolean operand")
+		buildPanic("concat", "Boolean operand where bit-vector expected")
 	}
 	w := hi.Width() + lo.Width()
 	if w > MaxWidth {
-		panic(fmt.Sprintf("smt: concat: result width %d exceeds %d", w, MaxWidth))
+		buildPanic("concat", "result width %d exceeds %d", w, MaxWidth)
 	}
 	if hi.IsConst() && lo.IsConst() {
 		return c.BV(w, hi.val<<uint(lo.Width())|lo.val)
@@ -401,10 +406,10 @@ func (c *Context) Concat(hi, lo *Term) *Term {
 // Extract returns bits hi..lo (inclusive, 0-based) of a.
 func (c *Context) Extract(a *Term, hi, lo int) *Term {
 	if a.width == 0 {
-		panic("smt: extract: Boolean operand")
+		buildPanic("extract", "Boolean operand where bit-vector expected")
 	}
 	if lo < 0 || hi < lo || hi >= a.Width() {
-		panic(fmt.Sprintf("smt: extract [%d:%d] out of range for width %d", hi, lo, a.Width()))
+		buildPanic("extract", "[%d:%d] out of range for width %d", hi, lo, a.Width())
 	}
 	w := hi - lo + 1
 	if w == a.Width() {
@@ -490,11 +495,11 @@ func (c *Context) Extract(a *Term, hi, lo int) *Term {
 // ZExt zero-extends a to the given width.
 func (c *Context) ZExt(a *Term, width int) *Term {
 	if a.width == 0 {
-		panic("smt: zext: Boolean operand")
+		buildPanic("zext", "Boolean operand where bit-vector expected")
 	}
 	checkWidth(width)
 	if width < a.Width() {
-		panic(fmt.Sprintf("smt: zext: target width %d < operand width %d", width, a.Width()))
+		buildPanic("zext", "target width %d < operand width %d", width, a.Width())
 	}
 	if width == a.Width() {
 		return a
@@ -511,11 +516,11 @@ func (c *Context) ZExt(a *Term, width int) *Term {
 // SExt sign-extends a to the given width.
 func (c *Context) SExt(a *Term, width int) *Term {
 	if a.width == 0 {
-		panic("smt: sext: Boolean operand")
+		buildPanic("sext", "Boolean operand where bit-vector expected")
 	}
 	checkWidth(width)
 	if width < a.Width() {
-		panic(fmt.Sprintf("smt: sext: target width %d < operand width %d", width, a.Width()))
+		buildPanic("sext", "target width %d < operand width %d", width, a.Width())
 	}
 	if width == a.Width() {
 		return a
@@ -533,7 +538,7 @@ func (c *Context) SExt(a *Term, width int) *Term {
 func (c *Context) Ite(cond, a, b *Term) *Term {
 	checkBool("ite", cond)
 	if a.width != b.width {
-		panic(fmt.Sprintf("smt: ite: branch width mismatch %d vs %d", a.width, b.width))
+		buildPanic("ite", "branch width mismatch %d vs %d", a.width, b.width)
 	}
 	if v, ok := cond.IsBoolConst(); ok {
 		if v {

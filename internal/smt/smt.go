@@ -260,23 +260,46 @@ func SignExt(v uint64, w int) uint64 {
 	return v | ^mask(w)
 }
 
+// BuildError describes a term-construction discipline violation: a width out
+// of range, a width mismatch between operands, or a sort confusion (Boolean
+// where bit-vector expected, or vice versa). Builders panic with *BuildError
+// so that analysis tools driving untrusted transition functions — dutlint in
+// particular — can recover at the cycle boundary and convert the violation
+// into a reported finding instead of crashing, while ordinary callers still
+// fail loudly on programmer error.
+type BuildError struct {
+	Op  string // builder operation, e.g. "bvadd", "extract"
+	Msg string // human-readable description of the violation
+}
+
+func (e *BuildError) Error() string {
+	if e.Op == "" {
+		return "smt: " + e.Msg
+	}
+	return "smt: " + e.Op + ": " + e.Msg
+}
+
+func buildPanic(op, format string, args ...interface{}) {
+	panic(&BuildError{Op: op, Msg: fmt.Sprintf(format, args...)})
+}
+
 func checkWidth(w int) {
 	if w < 1 || w > MaxWidth {
-		panic(fmt.Sprintf("smt: invalid bit-vector width %d", w))
+		buildPanic("", "invalid bit-vector width %d", w)
 	}
 }
 
 func checkSameBV(op string, a, b *Term) {
 	if a.width == 0 || b.width == 0 {
-		panic("smt: " + op + ": Boolean operand where bit-vector expected")
+		buildPanic(op, "Boolean operand where bit-vector expected")
 	}
 	if a.width != b.width {
-		panic(fmt.Sprintf("smt: %s: width mismatch %d vs %d", op, a.width, b.width))
+		buildPanic(op, "width mismatch %d vs %d", a.width, b.width)
 	}
 }
 
 func checkBool(op string, a *Term) {
 	if a.width != 0 {
-		panic("smt: " + op + ": bit-vector operand where Boolean expected")
+		buildPanic(op, "bit-vector operand where Boolean expected")
 	}
 }
