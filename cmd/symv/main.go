@@ -42,6 +42,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -125,12 +126,14 @@ shared flags (every exploration command):
 // worker count, the two ablation toggles, machine-readable output, and the
 // observability sinks. It maps one-to-one onto harness.Common.
 type sharedFlags struct {
-	workers *int
-	cache   *string
-	rewrite *string
-	jsonOut *bool
-	trace   *string
-	metrics *bool
+	workers   *int
+	cache     *string
+	rewrite   *string
+	inprocess *string
+	portfolio *string
+	jsonOut   *bool
+	trace     *string
+	metrics   *bool
 }
 
 // sharedGroup registers the shared flag group on a subcommand's flag set.
@@ -138,11 +141,13 @@ func sharedGroup(fs *flag.FlagSet) *sharedFlags {
 	return &sharedFlags{
 		workers: fs.Int("workers", runtime.GOMAXPROCS(0),
 			"parallel exploration workers per exploration (1 = sequential; results are worker-count independent)"),
-		cache:   fs.String("cache", "on", "query-elimination layer (stack models, slicing, feasibility cache): on | off"),
-		rewrite: fs.String("rewrite", "on", "extended term rewrites ahead of bit-blasting: on | off"),
-		jsonOut: fs.Bool("json", false, "emit machine-readable JSON instead of the table"),
-		trace:   fs.String("trace", "", "write a JSONL span/counter trace to this file (inspect with symv trace)"),
-		metrics: fs.Bool("metrics", false, "print the aggregated counter/phase table to stderr after the run"),
+		cache:     fs.String("cache", "on", "query-elimination layer (stack models, slicing, feasibility cache): on | off"),
+		rewrite:   fs.String("rewrite", "on", "extended term rewrites ahead of bit-blasting: on | off"),
+		inprocess: fs.String("inprocess", "on", "SAT-core inprocessing (subsumption, strengthening, variable elimination): on | off"),
+		portfolio: fs.String("portfolio", "off", "diverse deterministic SAT heuristics per worker at -workers >= 2: on | off"),
+		jsonOut:   fs.Bool("json", false, "emit machine-readable JSON instead of the table"),
+		trace:     fs.String("trace", "", "write a JSONL span/counter trace to this file (inspect with symv trace)"),
+		metrics:   fs.Bool("metrics", false, "print the aggregated counter/phase table to stderr after the run"),
 	}
 }
 
@@ -158,6 +163,12 @@ func (g *sharedFlags) build(cmd string) (harness.Common, func() error, error) {
 	}
 	if c.Rewrite, ok = harness.ParseToggle(*g.rewrite); !ok {
 		return c, nil, fmt.Errorf("bad -rewrite=%q (want on or off)", *g.rewrite)
+	}
+	if c.Inprocess, ok = harness.ParseToggle(*g.inprocess); !ok {
+		return c, nil, fmt.Errorf("bad -inprocess=%q (want on or off)", *g.inprocess)
+	}
+	if c.Portfolio, ok = harness.ParseToggle(*g.portfolio); !ok {
+		return c, nil, fmt.Errorf("bad -portfolio=%q (want on or off)", *g.portfolio)
 	}
 	var traceFile *os.File
 	if *g.trace != "" || *g.metrics {
@@ -619,12 +630,27 @@ func cmdBench(args []string) error {
 	jsonPath := fs.String("json-file", "", "also write the machine-readable report to this file")
 	quick := fs.Bool("quick", false, "CI smoke mode: 2s budgets, one fault")
 	ablate := fs.Bool("ablate", false, "run the cache-on/cache-off equivalence check even outside -quick")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole benchmark to this file")
 	shared := sharedGroup(fs)
 	fs.Parse(args)
 
 	common, finish, err := shared.build("bench")
 	if err != nil {
 		return err
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
 	}
 	common.Budget = *budget
 	opt := harness.BenchOptions{
@@ -677,6 +703,9 @@ func cmdBench(args []string) error {
 	}
 	if res.Ablation != nil && !res.Ablation.Match {
 		return fmt.Errorf("bench: cache ablation mismatch: %s", res.Ablation.Mismatch)
+	}
+	if res.SolverMat != nil && !res.SolverMat.Match {
+		return fmt.Errorf("bench: solver equivalence mismatch: %s", res.SolverMat.Mismatch)
 	}
 	return nil
 }

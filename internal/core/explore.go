@@ -7,6 +7,7 @@ import (
 
 	"symriscv/internal/obs"
 	"symriscv/internal/querycache"
+	"symriscv/internal/sat"
 	"symriscv/internal/smt"
 	"symriscv/internal/solver"
 )
@@ -102,6 +103,14 @@ type Options struct {
 	// NoTermRewrites disables the extended term rewrite rules, leaving only
 	// the basic constant folds. Ablation mode (symv -rewrite=off).
 	NoTermRewrites bool
+	// NoInprocessing disables SAT-core inprocessing (subsumption,
+	// strengthening, variable elimination). Ablation mode (symv
+	// -inprocess=off).
+	NoInprocessing bool
+	// Portfolio seeds each parallel worker's SAT core with diverse but
+	// deterministic heuristic parameters (sat.PortfolioOptions). Only
+	// meaningful at workers >= 2; ignored by the sequential explorer.
+	Portfolio bool
 	// Obs, when non-nil, receives spans and counters for this exploration.
 	// Observability is side-channel only: it never influences exploration
 	// decisions, so reports are byte-identical with and without it.
@@ -142,6 +151,10 @@ type Stats struct {
 	RewriteHits uint64
 	// Cache breaks eliminated queries down by hit kind.
 	Cache querycache.Stats
+	// SAT holds the CDCL core's own counters (propagations, conflicts,
+	// restarts, learnt/deleted clauses, inprocessing tallies), summed over
+	// all workers' solvers.
+	SAT sat.Stats
 }
 
 // Finding is a path that ended in an error (for the co-simulation: a voter
@@ -198,6 +211,7 @@ func (x *Explorer) Context() *smt.Context { return x.ctx }
 func (x *Explorer) Explore(opts Options) *Report {
 	start := wallNow()
 	x.sol.SetConflictBudget(opts.SolverConflictBudget)
+	x.sol.SetInprocessing(!opts.NoInprocessing)
 	x.ctx.SetExtendedRewrites(!opts.NoTermRewrites)
 	if opts.NoQueryCache {
 		x.qc = nil
@@ -314,6 +328,7 @@ func (x *Explorer) fillSizes(rep *Report) {
 	ss := x.sol.Stats()
 	rep.Stats.CDCLQueries = ss.Checks
 	rep.Stats.SolverUnknowns = ss.UnknownAns
+	rep.Stats.SAT = ss.SAT
 	rep.Stats.RewriteHits = x.ctx.RewriteHits()
 	if x.qc != nil {
 		rep.Stats.Cache = x.qc.Stats()

@@ -5,6 +5,7 @@ import (
 
 	"symriscv/internal/obs"
 	"symriscv/internal/querycache"
+	"symriscv/internal/sat"
 	"symriscv/internal/smt"
 	"symriscv/internal/solver"
 )
@@ -54,6 +55,11 @@ type ShardOptions struct {
 	GenerateTests         bool
 	NoQueryCache          bool
 	NoTermRewrites        bool
+	NoInprocessing        bool
+	// SATOptions, when non-nil, sets this shard's SAT-core heuristic
+	// parameters (deterministic portfolio diversification; see
+	// sat.PortfolioOptions). Nil means the tuned defaults.
+	SATOptions *sat.Options
 	// Obs, when non-nil, attaches this shard to the observability layer;
 	// ObsWorker is the worker index its spans and counters report under.
 	Obs       *obs.Recorder
@@ -81,8 +87,13 @@ type Shard struct {
 func NewShard(run RunFunc, opts ShardOptions) *Shard {
 	ctx := smt.NewContext()
 	ctx.SetExtendedRewrites(!opts.NoTermRewrites)
-	sol := solver.New(ctx)
+	so := sat.DefaultOptions()
+	if opts.SATOptions != nil {
+		so = *opts.SATOptions
+	}
+	sol := solver.NewWithOptions(ctx, so)
 	sol.SetConflictBudget(opts.SolverConflictBudget)
+	sol.SetInprocessing(!opts.NoInprocessing)
 	s := &Shard{
 		ctx:  ctx,
 		sol:  sol,

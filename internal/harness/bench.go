@@ -12,6 +12,7 @@ import (
 	"symriscv/internal/faults"
 	"symriscv/internal/iss"
 	"symriscv/internal/microrv32"
+	"symriscv/internal/sat"
 )
 
 // Ablate carries the query-elimination ablation toggles shared by the symv
@@ -109,6 +110,10 @@ type BenchThroughput struct {
 	SlicedDropped  uint64
 	RewriteHits    uint64
 	SolverUnknowns uint64
+
+	// SAT-core internals (summed over all workers' solvers): how much work
+	// the CDCL search itself did, and what inprocessing removed.
+	SAT sat.Stats
 }
 
 // fillTelemetry copies the query-elimination counters out of a report.
@@ -123,6 +128,7 @@ func (t *BenchThroughput) fillTelemetry(s core.Stats) {
 	t.SlicedDropped = s.Cache.SlicedDropped
 	t.RewriteHits = s.RewriteHits
 	t.SolverUnknowns = s.SolverUnknowns
+	t.SAT = s.SAT
 }
 
 // BenchHunt is one per-fault time-to-bug measurement.
@@ -157,6 +163,35 @@ type BenchAblation struct {
 	ReductionPct float64
 }
 
+// BenchSolverConfig is one row of the solver-equivalence matrix: the same
+// bounded workload explored under one SAT-core configuration.
+type BenchSolverConfig struct {
+	Name      string
+	Workers   int
+	Inprocess bool
+	Portfolio bool
+
+	Paths         int
+	Completed     int
+	Infeasible    int
+	Findings      int
+	SolverQueries uint64
+	CDCLQueries   uint64
+	SAT           sat.Stats
+}
+
+// BenchSolverAblation is the solver-configuration equivalence check: the
+// bounded workload must report identical deterministic fields (paths, engine
+// queries, findings) whether inprocessing is on or off, with or without the
+// portfolio, at workers 1, 2 and 4 — the SAT core only ever changes how fast
+// answers arrive, never which answers.
+type BenchSolverAblation struct {
+	MaxPaths int
+	Match    bool
+	Mismatch string `json:",omitempty"`
+	Configs  []BenchSolverConfig
+}
+
 // BenchReport is the JSON document emitted by symv bench.
 type BenchReport struct {
 	GOMAXPROCS int
@@ -170,7 +205,8 @@ type BenchReport struct {
 	RewriteOff bool `json:",omitempty"`
 	Throughput []BenchThroughput
 	Hunts      []BenchHunt
-	Ablation   *BenchAblation `json:",omitempty"`
+	Ablation   *BenchAblation       `json:",omitempty"`
+	SolverMat  *BenchSolverAblation `json:",omitempty"`
 }
 
 // RunBench measures exploration throughput (paths/sec, solver queries/sec on
@@ -252,8 +288,96 @@ func RunBench(opt BenchOptions) *BenchReport {
 
 	if opt.CacheAblation {
 		rep.Ablation = runCacheAblation(opt)
+		rep.SolverMat = runSolverAblation(opt)
 	}
 	return rep
+}
+
+// runSolverAblation explores the bounded equivalence workload under every
+// interesting SAT-core configuration and cross-checks the deterministic
+// report contract against the defaults (same comparison set as the cache
+// ablation: path counts, engine query counts, findings by path and class).
+func runSolverAblation(opt BenchOptions) *BenchSolverAblation {
+	cfg := cosim.Config{
+		ISS:             iss.VPConfig(),
+		Core:            microrv32.ShippedConfig(),
+		InstrLimit:      opt.InstrLimit,
+		NumSymbolicRegs: opt.NumRegs,
+	}
+	bounded := core.Options{MaxPaths: opt.AblationMaxPaths, Obs: opt.Obs}
+
+	type variant struct {
+		name      string
+		workers   int
+		inprocess bool
+		portfolio bool
+	}
+	variants := []variant{
+		{"defaults w1", 1, true, false},
+		{"inprocess-off w1", 1, false, false},
+		{"portfolio w2", 2, true, true},
+		{"portfolio w4", 4, true, true},
+	}
+
+	mat := &BenchSolverAblation{MaxPaths: opt.AblationMaxPaths, Match: true}
+	fail := func(format string, args ...any) {
+		mat.Match = false
+		if mat.Mismatch == "" {
+			mat.Mismatch = fmt.Sprintf(format, args...)
+		}
+	}
+	var base *core.Report
+	var baseFindings []string
+	for _, v := range variants {
+		o := bounded
+		o.NoInprocessing = !v.inprocess
+		o.Portfolio = v.portfolio
+		r := exploreWorkers(cosim.RunFunc(cfg), o, v.workers)
+		mat.Configs = append(mat.Configs, BenchSolverConfig{
+			Name:          v.name,
+			Workers:       v.workers,
+			Inprocess:     v.inprocess,
+			Portfolio:     v.portfolio,
+			Paths:         r.Stats.Paths,
+			Completed:     r.Stats.Completed,
+			Infeasible:    r.Stats.Infeasible,
+			Findings:      len(r.Findings),
+			SolverQueries: r.Stats.SolverQueries,
+			CDCLQueries:   r.Stats.CDCLQueries,
+			SAT:           r.Stats.SAT,
+		})
+		keys := make([]string, len(r.Findings))
+		for i, f := range r.Findings {
+			keys[i] = fmt.Sprintf("path %d: %s", f.Path, findingClass(f.Err))
+		}
+		if base == nil {
+			base, baseFindings = r, keys
+			continue
+		}
+		if r.Stats.Paths != base.Stats.Paths {
+			fail("%s: paths differ: %d vs %d", v.name, r.Stats.Paths, base.Stats.Paths)
+		}
+		if r.Stats.Completed != base.Stats.Completed {
+			fail("%s: completed paths differ: %d vs %d", v.name, r.Stats.Completed, base.Stats.Completed)
+		}
+		if r.Stats.Infeasible != base.Stats.Infeasible {
+			fail("%s: infeasible counts differ: %d vs %d", v.name, r.Stats.Infeasible, base.Stats.Infeasible)
+		}
+		if r.Stats.SolverQueries != base.Stats.SolverQueries {
+			fail("%s: engine query counts differ: %d vs %d", v.name, r.Stats.SolverQueries, base.Stats.SolverQueries)
+		}
+		if len(keys) != len(baseFindings) {
+			fail("%s: finding counts differ: %d vs %d", v.name, len(keys), len(baseFindings))
+			continue
+		}
+		for i := range keys {
+			if keys[i] != baseFindings[i] {
+				fail("%s: finding %d differs: %s vs %s", v.name, i, keys[i], baseFindings[i])
+				break
+			}
+		}
+	}
+	return mat
 }
 
 // runCacheAblation runs the bounded equivalence workload twice (elimination
@@ -362,6 +486,12 @@ func (r *BenchReport) Format() string {
 			t.Workers, t.StackHits, t.ExactHits, t.SubsetSat, t.SupersetUnsat,
 			t.SlicedQueries, t.SlicedDropped, t.RewriteHits, t.SolverUnknowns)
 	}
+	for _, t := range r.Throughput {
+		s := t.SAT
+		fmt.Fprintf(&b, "  sat   w=%d: props=%d conflicts=%d decisions=%d restarts=%d learnt=%d(-%d) subsumed=%d strengthened=%d elim=%d(+%d back)\n",
+			t.Workers, s.Propagations, s.Conflicts, s.Decisions, s.Restarts,
+			s.Learnt, s.Removed, s.Subsumed, s.Strengthened, s.Eliminated, s.Restored)
+	}
 	if len(r.Hunts) > 0 {
 		b.WriteString("\nTime-to-bug (matched baseline + injected fault, stop on first finding)\n")
 		fmt.Fprintf(&b, "%-7s %-8s %-6s %12s %8s %12s %10s %10s\n",
@@ -386,6 +516,18 @@ func (r *BenchReport) Format() string {
 			a.Paths, a.Completed, a.Findings, a.SolverQueries)
 		fmt.Fprintf(&b, "  SAT-core queries: %d (cache off) -> %d (cache on), %.1f%% eliminated\n",
 			a.CDCLOff, a.CDCLOn, a.ReductionPct)
+	}
+	if m := r.SolverMat; m != nil {
+		verdict := "MATCH"
+		if !m.Match {
+			verdict = "MISMATCH: " + m.Mismatch
+		}
+		fmt.Fprintf(&b, "\nSolver equivalence matrix (MaxPaths=%d): %s\n", m.MaxPaths, verdict)
+		for _, c := range m.Configs {
+			fmt.Fprintf(&b, "  %-18s w=%d inprocess=%s portfolio=%s: paths=%d completed=%d findings=%d queries=%d cdcl=%d conflicts=%d\n",
+				c.Name, c.Workers, onOff(c.Inprocess), onOff(c.Portfolio),
+				c.Paths, c.Completed, c.Findings, c.SolverQueries, c.CDCLQueries, c.SAT.Conflicts)
+		}
 	}
 	return b.String()
 }

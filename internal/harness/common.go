@@ -45,9 +45,16 @@ type Common struct {
 	// Reports are worker-count independent by construction.
 	Workers int
 	// Cache toggles the query-elimination layer (stack models, independence
-	// slicing, feasibility caching); Rewrite the extended term rewrites.
-	Cache   Toggle
-	Rewrite Toggle
+	// slicing, feasibility caching); Rewrite the extended term rewrites;
+	// Inprocess the SAT-core clause-database simplification.
+	Cache     Toggle
+	Rewrite   Toggle
+	Inprocess Toggle
+	// Portfolio is opt-in (enabled only when explicitly "on"): at
+	// workers >= 2 each worker's SAT core runs deterministic diversified
+	// heuristics (sat.PortfolioOptions). Reports stay byte-identical — the
+	// portfolio changes how fast each solve answers, never the answer.
+	Portfolio Toggle
 	// Obs, when non-nil, attaches every exploration to the observability
 	// layer (spans, counters, JSONL traces). Strictly a side channel:
 	// reports are byte-identical with and without it.
@@ -67,6 +74,8 @@ type Common struct {
 func (c Common) apply(o core.Options) core.Options {
 	o.NoQueryCache = o.NoQueryCache || c.Cache.Disabled()
 	o.NoTermRewrites = o.NoTermRewrites || c.Rewrite.Disabled()
+	o.NoInprocessing = o.NoInprocessing || c.Inprocess.Disabled()
+	o.Portfolio = o.Portfolio || c.Portfolio == On
 	if o.Obs == nil {
 		o.Obs = c.Obs
 	}

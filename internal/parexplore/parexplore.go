@@ -43,6 +43,7 @@ import (
 	"symriscv/internal/core"
 	"symriscv/internal/obs"
 	"symriscv/internal/querycache"
+	"symriscv/internal/sat"
 )
 
 // unit is one subtree hand-off: a portable decision prefix plus its
@@ -336,6 +337,7 @@ func (c *coord) merge(shards []*core.Shard) *core.Report {
 		ss := sh.SolverStats()
 		rep.Stats.CDCLQueries += ss.Checks
 		rep.Stats.SolverUnknowns += ss.UnknownAns
+		rep.Stats.SAT.Add(ss.SAT)
 		rep.Stats.RewriteHits += sh.RewriteHits()
 		rep.Stats.Cache.Add(sh.CacheStats())
 	}
@@ -385,6 +387,7 @@ func Explore(run core.RunFunc, opts core.Options, workers int) *core.Report {
 		GenerateTests:         opts.GenerateTests,
 		NoQueryCache:          opts.NoQueryCache,
 		NoTermRewrites:        opts.NoTermRewrites,
+		NoInprocessing:        opts.NoInprocessing,
 		Obs:                   opts.Obs,
 	}
 	// One read-mostly cache store spans all workers; each shard buffers its
@@ -399,6 +402,14 @@ func Explore(run core.RunFunc, opts core.Options, workers int) *core.Report {
 		so := shardOpts
 		so.Seed = opts.Seed + int64(i)
 		so.ObsWorker = i + 1
+		if opts.Portfolio && workers >= 2 {
+			// Deterministic per-worker solver diversification: worker 0
+			// keeps the tuned defaults, the rest cycle through presets.
+			// Answers (and therefore reports) are unaffected — only the
+			// search order inside each SAT solve changes.
+			po := sat.PortfolioOptions(i)
+			so.SATOptions = &po
+		}
 		shards[i] = core.NewShard(run, so)
 		if store != nil {
 			shards[i].AttachSharedCache(store)

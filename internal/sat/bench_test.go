@@ -1,0 +1,116 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// propagationChain builds n implication chains of length depth fanning out
+// from one root variable: asserting the root floods the trail with unit
+// propagations and never conflicts. Returns the root.
+func propagationChain(s *Solver, chains, depth int) Var {
+	root := s.NewVar()
+	for c := 0; c < chains; c++ {
+		prev := root
+		for d := 0; d < depth; d++ {
+			v := s.NewVar()
+			s.AddClause(MkLit(prev, true), MkLit(v, false)) // prev -> v
+			prev = v
+		}
+	}
+	return root
+}
+
+// BenchmarkPropagationHeavy measures the watched-literal propagation loop:
+// each iteration asserts/retracts the chain root via assumptions, walking
+// ~chains*depth implications with no conflicts — the dominant operation in
+// the bit-blasted exploration workload.
+func BenchmarkPropagationHeavy(b *testing.B) {
+	s := New()
+	root := propagationChain(s, 50, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s.Solve(MkLit(root, false)) != Sat {
+			b.Fatal("chain should be sat")
+		}
+		if s.Solve(MkLit(root, true)) != Sat {
+			b.Fatal("negated root should be sat")
+		}
+	}
+}
+
+func addPigeonhole(s *Solver, p, h int) {
+	vs := make([][]Var, p)
+	for i := range vs {
+		vs[i] = newVars(s, h)
+	}
+	for i := 0; i < p; i++ {
+		cl := make([]Lit, h)
+		for j := 0; j < h; j++ {
+			cl[j] = MkLit(vs[i][j], false)
+		}
+		s.AddClause(cl...)
+	}
+	for j := 0; j < h; j++ {
+		for i := 0; i < p; i++ {
+			for k := i + 1; k < p; k++ {
+				s.AddClause(MkLit(vs[i][j], true), MkLit(vs[k][j], true))
+			}
+		}
+	}
+}
+
+// BenchmarkConflictHeavy measures conflict analysis, learning and restarts on
+// a fresh pigeonhole instance per iteration (learnt clauses from one run must
+// not subsidise the next).
+func BenchmarkConflictHeavy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := New()
+		addPigeonhole(s, 8, 7)
+		if s.Solve() != Unsat {
+			b.Fatal("pigeonhole should be unsat")
+		}
+	}
+}
+
+// BenchmarkEliminationFriendly measures one inprocessing round over a CNF
+// built from AND-gate definitions (every gate output is eliminable) plus
+// random ternary clauses over the inputs (subsumption/strengthening fodder).
+func BenchmarkEliminationFriendly(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	const inputs, gates, extra = 60, 300, 400
+	type inst struct {
+		s *Solver
+	}
+	build := func() *Solver {
+		s := New()
+		ins := newVars(s, inputs)
+		for g := 0; g < gates; g++ {
+			a := ins[rng.Intn(inputs)]
+			c := ins[rng.Intn(inputs)]
+			o := s.NewVar()
+			s.AddClause(MkLit(o, true), MkLit(a, false))
+			s.AddClause(MkLit(o, true), MkLit(c, false))
+			s.AddClause(MkLit(o, false), MkLit(a, true), MkLit(c, true))
+		}
+		for e := 0; e < extra; e++ {
+			s.AddClause(
+				MkLit(ins[rng.Intn(inputs)], rng.Intn(2) == 1),
+				MkLit(ins[rng.Intn(inputs)], rng.Intn(2) == 1),
+				MkLit(ins[rng.Intn(inputs)], rng.Intn(2) == 1))
+		}
+		return s
+	}
+	instances := make([]inst, b.N)
+	for i := range instances {
+		instances[i] = inst{s: build()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := instances[i].s
+		s.simplify(nil)
+		if !s.ok {
+			b.Fatal("instance became unsat during simplification")
+		}
+	}
+}

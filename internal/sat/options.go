@@ -1,0 +1,129 @@
+package sat
+
+// RestartPolicy selects the restart schedule of the CDCL search loop.
+type RestartPolicy uint8
+
+// Restart policies. RestartLuby follows the Luby sequence scaled by
+// LubyUnit conflicts; RestartEMA is the glucose-style dynamic policy that
+// restarts when the short-term LBD average exceeds the long-term average
+// by EMAFactor (search is producing worse clauses than its history, so a
+// different prefix is likely cheaper).
+const (
+	RestartLuby RestartPolicy = iota
+	RestartEMA
+)
+
+func (p RestartPolicy) String() string {
+	if p == RestartEMA {
+		return "ema"
+	}
+	return "luby"
+}
+
+// Options are the heuristic parameters of a Solver. They are fixed at
+// construction (NewWith); the zero value is NOT the default — use
+// DefaultOptions. All parameters are deterministic: two solvers built with
+// equal Options, fed the same clauses and Solve calls, produce identical
+// answers, models and statistics.
+type Options struct {
+	// Restart selects the restart schedule.
+	Restart RestartPolicy
+	// LubyUnit scales the Luby sequence (conflicts per unit).
+	LubyUnit uint64
+	// EMAMinInterval is the minimum number of conflicts between EMA
+	// restarts.
+	EMAMinInterval uint64
+	// EMAFactor triggers an EMA restart when fastLBD > EMAFactor*slowLBD.
+	EMAFactor float64
+	// VarDecay is the VSIDS activity decay factor (activity increments grow
+	// by 1/VarDecay per conflict).
+	VarDecay float64
+	// ClauseDecay is the learnt-clause activity decay factor.
+	ClauseDecay float64
+	// InitPhase is the initial saved phase of fresh variables (true =
+	// decide positive first). Ignored for variables covered by PhaseSeed.
+	InitPhase bool
+	// PhaseSeed, when nonzero, initialises each fresh variable's saved
+	// phase from a splitmix64 stream seeded with it — deterministic
+	// per-variable pseudo-random phases for portfolio diversity.
+	PhaseSeed uint64
+	// TargetPhase enables best-trail target phasing: once a Solve call has
+	// restarted, decisions prefer the polarity each variable held on the
+	// deepest trail seen in this call, falling back to the saved phase.
+	TargetPhase bool
+	// Inprocess enables clause-database inprocessing (subsumption,
+	// self-subsuming resolution, bounded variable elimination) between
+	// conflicts at restart boundaries and at Solve entry.
+	Inprocess bool
+	// CoreLBD is the learnt-clause tier bound below or at which a clause is
+	// kept forever; Tier2LBD the bound for the mid tier that survives while
+	// recently used. Everything above lives in the activity-sorted local
+	// tier that reduceDB halves.
+	CoreLBD  uint32
+	Tier2LBD uint32
+}
+
+// DefaultOptions returns the tuned default parameters (see EXPERIMENTS.md
+// for the sweep that picked them).
+func DefaultOptions() Options {
+	return Options{
+		Restart:        RestartLuby,
+		LubyUnit:       100,
+		EMAMinInterval: 50,
+		EMAFactor:      1.25,
+		VarDecay:       0.99,
+		ClauseDecay:    0.999,
+		InitPhase:      false,
+		PhaseSeed:      0,
+		TargetPhase:    true,
+		Inprocess:      true,
+		CoreLBD:        3,
+		Tier2LBD:       6,
+	}
+}
+
+// splitmix64 advances the splitmix64 PRNG state and returns the next value.
+// Used for PhaseSeed phase initialisation; keeps math/rand out of the
+// deterministic kernel and is stable across Go releases.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// PortfolioOptions returns the deterministic per-worker parameter preset
+// for a solver portfolio: worker 0 (and any negative index) runs the tuned
+// defaults, higher indices cycle through presets that diversify the restart
+// schedule, activity decay and phase initialisation. Each worker still
+// decides every query exactly (no approximation is involved), so diversity
+// changes only how fast answers arrive, never which answers — the property
+// parexplore's byte-identical-report contract relies on.
+func PortfolioOptions(worker int) Options {
+	o := DefaultOptions()
+	if worker <= 0 {
+		return o
+	}
+	switch (worker - 1) % 6 {
+	case 0:
+		o.Restart = RestartEMA
+	case 1:
+		o.VarDecay = 0.85
+		o.LubyUnit = 50
+	case 2:
+		o.InitPhase = true
+		o.VarDecay = 0.95
+	case 3:
+		o.Restart = RestartEMA
+		o.PhaseSeed = 0x9e3779b97f4a7c15 * uint64(worker)
+	case 4:
+		o.PhaseSeed = 0xbf58476d1ce4e5b9 * uint64(worker)
+		o.LubyUnit = 200
+	default:
+		o.Restart = RestartEMA
+		o.VarDecay = 0.92
+		o.EMAFactor = 1.15
+	}
+	return o
+}

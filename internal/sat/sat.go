@@ -1,11 +1,16 @@
 // Package sat implements a CDCL (conflict-driven clause learning) SAT solver
-// in the MiniSat lineage: two-literal watching with blocker literals, first-UIP
-// conflict analysis, VSIDS variable activity with phase saving, Luby restarts,
-// and LBD-guided learnt-clause database reduction.
+// in the MiniSat lineage: two-literal watching with blocker literals and a
+// dedicated binary-clause fast path, first-UIP conflict analysis, VSIDS
+// variable activity with phase saving and target phasing, switchable
+// Luby/LBD-EMA restarts, LBD-tiered learnt-clause retention, and clause
+// inprocessing (subsumption, self-subsuming resolution, bounded variable
+// elimination — see inprocess.go).
 //
 // The solver is incremental: variables and clauses may be added between calls
 // to Solve, and Solve accepts assumption literals that hold only for that
-// call. This is the backend of the bit-vector solver in internal/solver.
+// call. Consecutive Solve calls sharing an assumption prefix reuse the
+// propagation work of the common prefix (trail reuse). This is the backend of
+// the bit-vector solver in internal/solver.
 package sat
 
 import (
@@ -46,31 +51,33 @@ func (l Lit) String() string {
 	return fmt.Sprintf("v%d", l.Var())
 }
 
-type lbool int8
+// lbool is a three-valued assignment in the xor encoding: the stored value
+// for a variable is 0 (true), 1 (false) or lUndef, and the value of a
+// literal is the stored value xor the literal's sign bit — one branch-free
+// load in the propagation inner loop. Anything >= lUndef reads as
+// unassigned (xor can produce lUndef or lUndef+1).
+type lbool uint8
 
 const (
-	lUndef lbool = iota
-	lTrue
-	lFalse
+	lTrue  lbool = 0
+	lFalse lbool = 1
+	lUndef lbool = 2
 )
-
-func boolToLbool(b bool) lbool {
-	if b {
-		return lTrue
-	}
-	return lFalse
-}
 
 type clause struct {
 	lits   []Lit
 	act    float32
 	lbd    uint32
+	sig    uint64 // occurrence abstraction, maintained during inprocessing only
+	used   uint8  // tier2 retention window: refreshed on use, decayed by reduceDB
 	learnt bool
+	dead   bool // removed by inprocessing; compacted out before search resumes
 }
 
 type watcher struct {
 	c       *clause
 	blocker Lit
+	bin     bool // binary clause: blocker is the only other literal
 }
 
 // Status is the result of a Solve call.
@@ -99,22 +106,46 @@ type Stats struct {
 	Decisions    uint64
 	Propagations uint64
 	Restarts     uint64
-	Learnt       uint64
-	Removed      uint64
+	Learnt       uint64 // learnt clauses created
+	Removed      uint64 // learnt clauses deleted (reduceDB + inprocessing)
+	Subsumed     uint64 // problem clauses removed by subsumption
+	Strengthened uint64 // literals removed by self-subsuming resolution
+	Eliminated   uint64 // variables removed by bounded variable elimination
+	Restored     uint64 // eliminated variables brought back by reuse
+}
+
+// Add accumulates o into s field by field (for merging per-worker solvers).
+func (s *Stats) Add(o Stats) {
+	s.Conflicts += o.Conflicts
+	s.Decisions += o.Decisions
+	s.Propagations += o.Propagations
+	s.Restarts += o.Restarts
+	s.Learnt += o.Learnt
+	s.Removed += o.Removed
+	s.Subsumed += o.Subsumed
+	s.Strengthened += o.Strengthened
+	s.Eliminated += o.Eliminated
+	s.Restored += o.Restored
 }
 
 // Solver is a CDCL SAT solver. The zero value is not usable; call New.
 type Solver struct {
+	opts Options
+
 	clauses []*clause
 	learnts []*clause
 
 	watches [][]watcher // indexed by Lit
 
-	assigns  []lbool // indexed by Var
+	assigns  []uint8 // indexed by Var: 0 true, 1 false, >= lUndef unassigned
 	level    []int32
 	reason   []*clause
-	phase    []bool
+	phase    []uint8 // saved polarity: 0 positive, 1 negative
 	activity []float64
+
+	targetPhase []uint8 // best-trail polarity of the current Solve call
+	targetStamp []uint64
+	solveTick   uint64
 
 	trail    []Lit
 	trailLim []int32
@@ -127,9 +158,26 @@ type Solver struct {
 	seen       []bool
 	analyzeTmp []Lit
 
+	levelStamp []uint64 // computeLBD scratch, indexed by decision level
+	lbdTick    uint64
+
+	lbdFast float64 // short-term LBD EMA (RestartEMA)
+	lbdSlow float64 // long-term LBD EMA
+
+	lastAssumps []Lit // assumption prefix of the previous Solve (trail reuse)
+
 	ok bool // false once the clause set is unsat at level 0
 
 	conflictAssumps []Lit // failed assumptions after an Unsat answer
+
+	// Inprocessing state (see inprocess.go).
+	elimIdx         []int32 // per var: 1+index into elimStack when eliminated
+	elimStack       []elimEntry
+	frozen          []bool   // per var: protected from elimination this round
+	litStamp        []uint64 // per Lit: subset-check scratch
+	stampTick       uint64
+	clausesAtSimp   int
+	conflictsAtSimp uint64
 
 	stats Stats
 
@@ -137,16 +185,25 @@ type Solver struct {
 	ConflictBudget uint64
 }
 
-// New returns an empty solver.
+// New returns an empty solver with the tuned default options.
 func New() *Solver {
-	s := &Solver{
-		varInc: 1,
-		claInc: 1,
-		ok:     true,
-	}
-	s.order.activity = &s.activity
-	return s
+	return NewWith(DefaultOptions())
 }
+
+// NewWith returns an empty solver with the given heuristic parameters.
+func NewWith(o Options) *Solver {
+	return &Solver{
+		opts:       o,
+		varInc:     1,
+		claInc:     1,
+		ok:         true,
+		levelStamp: make([]uint64, 1),
+	}
+}
+
+// SetInprocessing toggles clause-database inprocessing. Turning it off never
+// undoes past simplification; it only stops future rounds.
+func (s *Solver) SetInprocessing(on bool) { s.opts.Inprocess = on }
 
 // Stats returns cumulative counters.
 func (s *Solver) Stats() Stats { return s.stats }
@@ -160,29 +217,32 @@ func (s *Solver) NumClauses() int { return len(s.clauses) }
 // NewVar creates a fresh variable.
 func (s *Solver) NewVar() Var {
 	v := Var(len(s.assigns))
-	s.assigns = append(s.assigns, lUndef)
+	p := uint8(1)
+	if s.opts.PhaseSeed != 0 {
+		st := s.opts.PhaseSeed + uint64(v)
+		p = uint8(splitmix64(&st) & 1)
+	} else if s.opts.InitPhase {
+		p = 0
+	}
+	s.assigns = append(s.assigns, uint8(lUndef))
 	s.level = append(s.level, 0)
 	s.reason = append(s.reason, nil)
-	s.phase = append(s.phase, false)
+	s.phase = append(s.phase, p)
 	s.activity = append(s.activity, 0)
+	s.targetPhase = append(s.targetPhase, 0)
+	s.targetStamp = append(s.targetStamp, 0)
 	s.seen = append(s.seen, false)
 	s.watches = append(s.watches, nil, nil)
-	s.order.insert(v)
+	s.levelStamp = append(s.levelStamp, 0)
+	s.elimIdx = append(s.elimIdx, 0)
+	s.frozen = append(s.frozen, false)
+	s.litStamp = append(s.litStamp, 0, 0)
+	s.order.insert(v, s.activity)
 	return v
 }
 
 func (s *Solver) value(l Lit) lbool {
-	a := s.assigns[l.Var()]
-	if a == lUndef {
-		return lUndef
-	}
-	if l.Sign() {
-		if a == lTrue {
-			return lFalse
-		}
-		return lTrue
-	}
-	return a
+	return lbool(s.assigns[l>>1] ^ uint8(l&1))
 }
 
 func (s *Solver) decisionLevel() int32 { return int32(len(s.trailLim)) }
@@ -194,15 +254,38 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	if !s.ok {
 		return false
 	}
+	for _, l := range lits {
+		if int(l.Var()) >= len(s.assigns) {
+			panic(fmt.Sprintf("sat: literal %v references unknown variable", l))
+		}
+		// An eliminated variable reappearing in a new clause gets its
+		// original clauses restored first, so the instance keeps meaning
+		// exactly what the caller asserted.
+		if s.elimIdx[l.Var()] != 0 {
+			s.restoreVar(l.Var())
+		}
+	}
+	if !s.ok {
+		return false
+	}
+	return s.addClauseInternal(lits)
+}
+
+// addClauseInternal is AddClause after eliminated-variable restoration.
+func (s *Solver) addClauseInternal(lits []Lit) bool {
+	// Fast path: attach the clause without disturbing the current trail.
+	// Incremental callers interleave encoding and solving, and backtracking
+	// to level 0 on every added clause would throw away (and then redo) the
+	// propagation of the whole assumption prefix on every check.
+	if s.decisionLevel() > 0 && s.attachLive(lits) {
+		return s.ok
+	}
 	s.cancelUntil(0)
 
 	// Sort-free simplification: drop duplicate and false literals, detect
 	// tautologies and satisfied clauses.
 	out := make([]Lit, 0, len(lits))
 	for _, l := range lits {
-		if int(l.Var()) >= len(s.assigns) {
-			panic(fmt.Sprintf("sat: literal %v references unknown variable", l))
-		}
 		switch s.value(l) {
 		case lTrue:
 			return true // already satisfied at level 0
@@ -239,23 +322,104 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	return true
 }
 
+// attachLive adds a clause while a trail is active, without backtracking.
+// It reports success; false sends the caller to the level-0 path (empty or
+// unit after simplification, or falsified by the current trail).
+//
+// Correctness: at attach time at most one watch is false, and when it is,
+// the other watched literal is made true (late implication) or already is.
+// From then on the standard invariant holds — a watch can only become false
+// through a propagate step that processes the clause — so no conflict or
+// model error can hide. A backtrack past the implication can leave the
+// clause unit without a pending trigger, which delays (never loses) the
+// implication: the solver cannot answer Sat with an unassigned variable,
+// and assigning the watched literal false processes the clause.
+func (s *Solver) attachLive(lits []Lit) bool {
+	out := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		if s.level[l.Var()] == 0 {
+			switch s.value(l) {
+			case lTrue:
+				return true // satisfied forever
+			case lFalse:
+				continue // can never help
+			}
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l^1 {
+				return true // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	if len(out) < 2 {
+		return false // empty or unit: take the level-0 path
+	}
+	// Find up to two literals not currently false.
+	w0, w1 := -1, -1
+	for i, l := range out {
+		if s.value(l) != lFalse {
+			if w0 < 0 {
+				w0 = i
+			} else {
+				w1 = i
+				break
+			}
+		}
+	}
+	if w0 < 0 {
+		return false // falsified by the trail: backtrack and re-add
+	}
+	if w1 < 0 {
+		// Unit under the current trail: watch the deepest false literal, so
+		// backtracking unassigns it as early as possible.
+		for i, l := range out {
+			if i != w0 && (w1 < 0 || s.level[l.Var()] > s.level[out[w1].Var()]) {
+				w1 = i
+			}
+		}
+	}
+	out[0], out[w0] = out[w0], out[0]
+	if w1 == 0 {
+		w1 = w0
+	}
+	out[1], out[w1] = out[w1], out[1]
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.attach(c)
+	if s.value(out[1]) == lFalse && s.value(out[0]) >= lUndef {
+		// Late implication; the next propagate call picks it up from qhead.
+		s.uncheckedEnqueue(out[0], c)
+	}
+	return true
+}
+
 func (s *Solver) attach(c *clause) {
+	bin := len(c.lits) == 2
 	l0, l1 := c.lits[0], c.lits[1]
-	s.watches[l0.Neg()] = append(s.watches[l0.Neg()], watcher{c, l1})
-	s.watches[l1.Neg()] = append(s.watches[l1.Neg()], watcher{c, l0})
+	s.watches[l0^1] = append(s.watches[l0^1], watcher{c, l1, bin})
+	s.watches[l1^1] = append(s.watches[l1^1], watcher{c, l0, bin})
 }
 
 func (s *Solver) uncheckedEnqueue(l Lit, from *clause) {
 	v := l.Var()
-	s.assigns[v] = boolToLbool(!l.Sign())
+	s.assigns[v] = uint8(l) & 1
 	s.level[v] = s.decisionLevel()
 	s.reason[v] = from
-	s.phase[v] = !l.Sign()
+	s.phase[v] = uint8(l) & 1
 	s.trail = append(s.trail, l)
 }
 
 // propagate performs unit propagation; it returns a conflicting clause or nil.
 func (s *Solver) propagate() *clause {
+	assigns := s.assigns
 	for s.qhead < len(s.trail) {
 		p := s.trail[s.qhead]
 		s.qhead++
@@ -271,33 +435,52 @@ func (s *Solver) propagate() *clause {
 				kept = append(kept, w)
 				continue
 			}
-			if s.value(w.blocker) == lTrue {
+			bv := lbool(assigns[w.blocker>>1] ^ uint8(w.blocker&1))
+			if bv == lTrue {
 				kept = append(kept, w)
+				continue
+			}
+			if w.bin {
+				// Binary fast path: the blocker is the only other literal,
+				// so no watch ever moves — conflict or enqueue directly.
+				kept = append(kept, w)
+				c := w.c
+				if bv == lFalse {
+					confl = c
+					s.qhead = len(s.trail)
+					continue
+				}
+				// Reason clauses keep the implied literal at position 0.
+				if c.lits[0] != w.blocker {
+					c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+				}
+				s.uncheckedEnqueue(w.blocker, c)
 				continue
 			}
 			c := w.c
 			// Ensure the false literal (¬p) is at position 1.
-			np := p.Neg()
+			np := p ^ 1
 			if c.lits[0] == np {
 				c.lits[0], c.lits[1] = c.lits[1], np
 			}
 			first := c.lits[0]
-			if first != w.blocker && s.value(first) == lTrue {
-				kept = append(kept, watcher{c, first})
+			if first != w.blocker && lbool(assigns[first>>1]^uint8(first&1)) == lTrue {
+				kept = append(kept, watcher{c, first, false})
 				continue
 			}
 			// Look for a new literal to watch.
-			for k := 2; k < len(c.lits); k++ {
-				if s.value(c.lits[k]) != lFalse {
-					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
-					nw := c.lits[1].Neg()
-					s.watches[nw] = append(s.watches[nw], watcher{c, first})
+			lits := c.lits
+			for k := 2; k < len(lits); k++ {
+				if lbool(assigns[lits[k]>>1]^uint8(lits[k]&1)) != lFalse {
+					lits[1], lits[k] = lits[k], lits[1]
+					nw := lits[1] ^ 1
+					s.watches[nw] = append(s.watches[nw], watcher{c, first, false})
 					continue nextWatcher
 				}
 			}
 			// Clause is unit or conflicting.
-			kept = append(kept, watcher{c, first})
-			if s.value(first) == lFalse {
+			kept = append(kept, watcher{c, first, false})
+			if lbool(assigns[first>>1]^uint8(first&1)) == lFalse {
 				confl = c
 				s.qhead = len(s.trail)
 				continue
@@ -317,11 +500,12 @@ func (s *Solver) cancelUntil(lvl int32) {
 		return
 	}
 	bound := s.trailLim[lvl]
+	act := s.activity
 	for i := len(s.trail) - 1; i >= int(bound); i-- {
 		v := s.trail[i].Var()
-		s.assigns[v] = lUndef
+		s.assigns[v] = uint8(lUndef)
 		s.reason[v] = nil
-		s.order.insert(v)
+		s.order.insert(v, act)
 	}
 	s.trail = s.trail[:bound]
 	s.trailLim = s.trailLim[:lvl]
@@ -336,10 +520,10 @@ func (s *Solver) varBump(v Var) {
 		}
 		s.varInc *= 1e-100
 	}
-	s.order.update(v)
+	s.order.update(v, s.activity)
 }
 
-func (s *Solver) varDecay() { s.varInc /= 0.95 }
+func (s *Solver) varDecay() { s.varInc /= s.opts.VarDecay }
 
 func (s *Solver) claBump(c *clause) {
 	c.act += float32(s.claInc)
@@ -351,7 +535,7 @@ func (s *Solver) claBump(c *clause) {
 	}
 }
 
-func (s *Solver) claDecay() { s.claInc /= 0.999 }
+func (s *Solver) claDecay() { s.claInc /= s.opts.ClauseDecay }
 
 // analyze performs first-UIP conflict analysis, returning the learnt clause
 // (asserting literal first) and the backtrack level.
@@ -364,6 +548,12 @@ func (s *Solver) analyze(confl *clause) (learnt []Lit, btLevel int32) {
 	for {
 		if confl.learnt {
 			s.claBump(confl)
+			confl.used = 2
+			// Dynamic LBD: a clause that participates in conflicts with a
+			// better level profile is promoted toward the core tier.
+			if nl := s.computeLBD(confl.lits); nl < confl.lbd {
+				confl.lbd = nl
+			}
 		}
 		start := 0
 		if p != -1 {
@@ -445,13 +635,20 @@ func (s *Solver) analyze(confl *clause) (learnt []Lit, btLevel int32) {
 	return learnt, btLevel
 }
 
-// computeLBD returns the number of distinct decision levels in the clause.
+// computeLBD returns the number of distinct decision levels in the clause,
+// via a per-level stamp array (no allocation).
 func (s *Solver) computeLBD(lits []Lit) uint32 {
-	levels := make(map[int32]struct{}, len(lits))
+	s.lbdTick++
+	t := s.lbdTick
+	var n uint32
 	for _, l := range lits {
-		levels[s.level[l.Var()]] = struct{}{}
+		lv := s.level[l>>1]
+		if s.levelStamp[lv] != t {
+			s.levelStamp[lv] = t
+			n++
+		}
 	}
-	return uint32(len(levels))
+	return n
 }
 
 // analyzeFinal collects the subset of assumptions responsible for forcing
@@ -484,14 +681,19 @@ func (s *Solver) analyzeFinal(p Lit) {
 	s.seen[p.Var()] = false
 }
 
-func (s *Solver) pickBranchLit() Lit {
+func (s *Solver) pickBranchLit(useTarget bool) Lit {
+	act := s.activity
 	for {
-		v, ok := s.order.removeMax()
+		v, ok := s.order.removeMax(act)
 		if !ok {
 			return -1
 		}
-		if s.assigns[v] == lUndef {
-			return MkLit(v, !s.phase[v])
+		if s.assigns[v] >= uint8(lUndef) {
+			pol := s.phase[v]
+			if useTarget && s.targetStamp[v] == s.solveTick {
+				pol = s.targetPhase[v]
+			}
+			return Lit(v)<<1 | Lit(pol)
 		}
 	}
 }
@@ -514,23 +716,48 @@ func luby(i uint64) uint64 {
 	return uint64(1) << seq
 }
 
-// reduceDB removes roughly the worst half of the learnt clauses, never
-// removing reason ("locked") clauses, binary clauses, or glue (lbd <= 2).
+// restartDue applies the configured restart policy.
+func (s *Solver) restartDue(sinceRestart, lubyBudget uint64) bool {
+	if s.opts.Restart == RestartEMA {
+		return sinceRestart >= s.opts.EMAMinInterval &&
+			s.lbdFast > s.opts.EMAFactor*s.lbdSlow
+	}
+	return sinceRestart >= lubyBudget
+}
+
+// reduceDB trims the learnt-clause database by tier: core clauses (binary or
+// lbd <= CoreLBD) are kept forever, tier2 clauses (lbd <= Tier2LBD) survive
+// while their recent-use window is open, and the local tier is halved by
+// activity. Reason ("locked") clauses are never removed.
 func (s *Solver) reduceDB() {
 	ls := s.learnts
 	if len(ls) < 100 {
 		return
 	}
-	sort.Slice(ls, func(i, j int) bool { return worse(ls[i], ls[j]) })
-	target := len(ls) / 2
 	keep := ls[:0]
-	for i, c := range ls {
-		if i < target && c.lbd > 2 && len(c.lits) > 2 && !s.locked(c) {
-			s.detach(c)
-			s.stats.Removed++
-			continue
+	var local []*clause
+	for _, c := range ls {
+		switch {
+		case len(c.lits) <= 2 || c.lbd <= s.opts.CoreLBD:
+			keep = append(keep, c)
+		case c.lbd <= s.opts.Tier2LBD && c.used > 0:
+			c.used--
+			keep = append(keep, c)
+		default:
+			local = append(local, c)
 		}
-		keep = append(keep, c)
+	}
+	if len(local) > 0 {
+		sort.Slice(local, func(i, j int) bool { return worse(local[i], local[j]) })
+		target := len(local) / 2
+		for i, c := range local {
+			if i < target && !s.locked(c) {
+				s.detach(c)
+				s.stats.Removed++
+				continue
+			}
+			keep = append(keep, c)
+		}
 	}
 	s.learnts = keep
 }
@@ -565,17 +792,57 @@ func (s *Solver) detach(c *clause) {
 // FailedAssumptions reports an inconsistent assumption subset. Unknown is
 // returned only when ConflictBudget is exhausted.
 func (s *Solver) Solve(assumptions ...Lit) Status {
+	s.conflictAssumps = s.conflictAssumps[:0]
 	if !s.ok {
-		s.conflictAssumps = s.conflictAssumps[:0]
 		return Unsat
 	}
-	s.cancelUntil(0)
-	s.conflictAssumps = s.conflictAssumps[:0]
+	// Assumptions over eliminated variables bring the original clauses back
+	// before search, so failed-assumption analysis sees the real instance.
+	for _, p := range assumptions {
+		if int(p.Var()) >= len(s.assigns) {
+			panic(fmt.Sprintf("sat: assumption %v references unknown variable", p))
+		}
+		if s.elimIdx[p.Var()] != 0 {
+			s.restoreVar(p.Var())
+		}
+	}
+	if !s.ok {
+		return Unsat
+	}
+	s.solveTick++
+
+	if s.opts.Inprocess && s.inprocessDue() {
+		s.cancelUntil(0)
+		s.simplify(assumptions)
+		if !s.ok {
+			return Unsat
+		}
+	}
+
+	// Trail reuse: consecutive calls usually share a long assumption prefix
+	// (the engine's path constraints grow incrementally), and decision
+	// levels 1..k correspond one-to-one to assumptions 0..k-1, so keeping
+	// the common prefix skips re-propagating it from scratch.
+	keep := 0
+	maxKeep := int(s.decisionLevel())
+	if len(assumptions) < maxKeep {
+		maxKeep = len(assumptions)
+	}
+	if len(s.lastAssumps) < maxKeep {
+		maxKeep = len(s.lastAssumps)
+	}
+	for keep < maxKeep && s.lastAssumps[keep] == assumptions[keep] {
+		keep++
+	}
+	s.cancelUntil(int32(keep))
+	s.lastAssumps = append(s.lastAssumps[:0], assumptions...)
 
 	conflictsAtStart := s.stats.Conflicts
 	var restartSeq uint64
-	restartBudget := luby(restartSeq) * 100
+	restartBudget := luby(restartSeq) * s.opts.LubyUnit
 	var conflictsSinceRestart uint64
+	restarted := false
+	bestTrail := 0
 	maxLearnts := 4000 + len(s.clauses)/2
 
 	for {
@@ -589,32 +856,68 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			}
 			learnt, btLevel := s.analyze(confl)
 			s.cancelUntil(btLevel)
+			var lbd uint32
 			if len(learnt) == 1 {
 				s.uncheckedEnqueue(learnt[0], nil)
+				lbd = 1
 			} else {
-				c := &clause{lits: append([]Lit(nil), learnt...), learnt: true}
+				c := &clause{lits: append([]Lit(nil), learnt...), learnt: true, used: 2}
 				c.lbd = s.computeLBD(c.lits)
+				lbd = c.lbd
 				s.learnts = append(s.learnts, c)
 				s.stats.Learnt++
 				s.attach(c)
 				s.claBump(c)
 				s.uncheckedEnqueue(learnt[0], c)
 			}
+			s.lbdFast += (float64(lbd) - s.lbdFast) / 32
+			s.lbdSlow += (float64(lbd) - s.lbdSlow) / 4096
 			s.varDecay()
 			s.claDecay()
 			if s.ConflictBudget > 0 && s.stats.Conflicts-conflictsAtStart > s.ConflictBudget {
 				s.cancelUntil(0)
+				s.lastAssumps = s.lastAssumps[:0]
 				return Unknown
 			}
 			continue
 		}
 
-		if conflictsSinceRestart >= restartBudget {
+		// Target phasing: after the first restart of this call, remember the
+		// polarities of the deepest conflict-free trail seen, and steer
+		// decisions back toward it.
+		if s.opts.TargetPhase && restarted && len(s.trail) > bestTrail {
+			bestTrail = len(s.trail)
+			for _, l := range s.trail {
+				v := l.Var()
+				s.targetPhase[v] = uint8(l) & 1
+				s.targetStamp[v] = s.solveTick
+			}
+		}
+
+		if s.restartDue(conflictsSinceRestart, restartBudget) {
 			conflictsSinceRestart = 0
 			restartSeq++
-			restartBudget = luby(restartSeq) * 100
+			restartBudget = luby(restartSeq) * s.opts.LubyUnit
+			restarted = true
 			s.stats.Restarts++
-			s.cancelUntil(0)
+			s.lbdFast = s.lbdSlow
+			if s.opts.Inprocess && s.inprocessDue() {
+				// Inprocessing needs level 0; assumption levels are
+				// re-established by the loop below afterwards.
+				s.cancelUntil(0)
+				s.simplify(assumptions)
+				if !s.ok {
+					return Unsat
+				}
+			} else {
+				// Restart the search but keep the assumption prefix: levels
+				// 1..len(assumptions) are assumption levels by construction.
+				al := int32(len(assumptions))
+				if dl := s.decisionLevel(); dl < al {
+					al = dl
+				}
+				s.cancelUntil(al)
+			}
 			continue
 		}
 		if len(s.learnts) > maxLearnts {
@@ -633,6 +936,7 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 			case lFalse:
 				s.analyzeFinal(p.Neg())
 				s.cancelUntil(0)
+				s.lastAssumps = s.lastAssumps[:0]
 				return Unsat
 			default:
 				next = p
@@ -643,8 +947,9 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 		}
 		if next == -1 {
 			s.stats.Decisions++
-			next = s.pickBranchLit()
+			next = s.pickBranchLit(s.opts.TargetPhase && restarted)
 			if next == -1 {
+				s.extendModel()
 				return Sat // all variables assigned
 			}
 		}
@@ -654,9 +959,10 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 }
 
 // ValueOf returns the model value of v after a Sat answer. Unassigned
-// variables (possible after simplification) read as false.
+// variables (possible after simplification) read as false; eliminated
+// variables read their model-extension value (see extendModel).
 func (s *Solver) ValueOf(v Var) bool {
-	return s.assigns[v] == lTrue
+	return s.assigns[v] == uint8(lTrue)
 }
 
 // LitValue returns the model value of literal l after a Sat answer.
@@ -667,27 +973,24 @@ func (s *Solver) LitValue(l Lit) bool {
 	return s.ValueOf(l.Var())
 }
 
-// FailedAssumptions returns (a superset-minimised subset of) the assumptions
-// that made the last Solve call Unsat. Empty when the clause set itself is
-// unsatisfiable.
+// FailedAssumptions returns the negations of (a subset of) the assumptions
+// that made the last Solve call Unsat — the conflict clause, in MiniSat
+// convention. Empty when the clause set itself is unsatisfiable.
 func (s *Solver) FailedAssumptions() []Lit {
 	out := make([]Lit, len(s.conflictAssumps))
 	copy(out, s.conflictAssumps)
 	return out
 }
 
-// varHeap is an indexed max-heap ordered by variable activity.
+// varHeap is an indexed max-heap ordered by variable activity. The activity
+// slice is passed into each operation so the hot comparison needs no pointer
+// chase.
 type varHeap struct {
-	heap     []Var
-	indices  []int32 // position+1 in heap; 0 = absent
-	activity *[]float64
+	heap    []Var
+	indices []int32 // position+1 in heap; 0 = absent
 }
 
-func (h *varHeap) less(a, b Var) bool {
-	return (*h.activity)[a] > (*h.activity)[b]
-}
-
-func (h *varHeap) insert(v Var) {
+func (h *varHeap) insert(v Var, act []float64) {
 	for int(v) >= len(h.indices) {
 		h.indices = append(h.indices, 0)
 	}
@@ -696,16 +999,16 @@ func (h *varHeap) insert(v Var) {
 	}
 	h.heap = append(h.heap, v)
 	h.indices[v] = int32(len(h.heap))
-	h.up(len(h.heap) - 1)
+	h.up(len(h.heap)-1, act)
 }
 
-func (h *varHeap) update(v Var) {
+func (h *varHeap) update(v Var, act []float64) {
 	if int(v) < len(h.indices) && h.indices[v] != 0 {
-		h.up(int(h.indices[v]) - 1)
+		h.up(int(h.indices[v])-1, act)
 	}
 }
 
-func (h *varHeap) removeMax() (Var, bool) {
+func (h *varHeap) removeMax(act []float64) (Var, bool) {
 	if len(h.heap) == 0 {
 		return 0, false
 	}
@@ -716,16 +1019,37 @@ func (h *varHeap) removeMax() (Var, bool) {
 	h.heap = h.heap[:last]
 	h.indices[v] = 0
 	if last > 0 {
-		h.down(0)
+		h.down(0, act)
 	}
 	return v, true
 }
 
-func (h *varHeap) up(i int) {
+// remove deletes v from the heap (used when a variable is eliminated).
+func (h *varHeap) remove(v Var, act []float64) {
+	if int(v) >= len(h.indices) || h.indices[v] == 0 {
+		return
+	}
+	i := int(h.indices[v]) - 1
+	h.indices[v] = 0
+	last := len(h.heap) - 1
+	if i == last {
+		h.heap = h.heap[:last]
+		return
+	}
+	w := h.heap[last]
+	h.heap = h.heap[:last]
+	h.heap[i] = w
+	h.indices[w] = int32(i + 1)
+	h.down(i, act)
+	h.up(int(h.indices[w])-1, act)
+}
+
+func (h *varHeap) up(i int, act []float64) {
 	v := h.heap[i]
+	av := act[v]
 	for i > 0 {
 		p := (i - 1) / 2
-		if !h.less(v, h.heap[p]) {
+		if av <= act[h.heap[p]] {
 			break
 		}
 		h.heap[i] = h.heap[p]
@@ -736,18 +1060,19 @@ func (h *varHeap) up(i int) {
 	h.indices[v] = int32(i + 1)
 }
 
-func (h *varHeap) down(i int) {
+func (h *varHeap) down(i int, act []float64) {
 	v := h.heap[i]
+	av := act[v]
 	n := len(h.heap)
 	for {
 		c := 2*i + 1
 		if c >= n {
 			break
 		}
-		if c+1 < n && h.less(h.heap[c+1], h.heap[c]) {
+		if c+1 < n && act[h.heap[c+1]] > act[h.heap[c]] {
 			c++
 		}
-		if !h.less(h.heap[c], v) {
+		if act[h.heap[c]] <= av {
 			break
 		}
 		h.heap[i] = h.heap[c]
@@ -760,8 +1085,11 @@ func (h *varHeap) down(i int) {
 
 // WriteDIMACS dumps the problem clauses (not learnt clauses) plus the
 // current level-0 unit assignments in DIMACS CNF format, for interoperating
-// with external SAT tooling.
+// with external SAT tooling. Eliminated variables are restored first so the
+// dump is equivalent to the instance as asserted.
 func (s *Solver) WriteDIMACS(w io.Writer) error {
+	s.cancelUntil(0)
+	s.restoreAll()
 	s.cancelUntil(0)
 	units := len(s.trail)
 	if !s.ok {

@@ -74,15 +74,26 @@ type Solver struct {
 	h *obs.Handle
 }
 
-// New returns a solver for terms of ctx.
+// New returns a solver for terms of ctx, with the tuned default SAT-core
+// parameters.
 func New(ctx *smt.Context) *Solver {
-	s := sat.New()
+	return NewWithOptions(ctx, sat.DefaultOptions())
+}
+
+// NewWithOptions returns a solver for terms of ctx whose SAT core runs with
+// the given heuristic parameters (portfolio diversification; see
+// sat.PortfolioOptions).
+func NewWithOptions(ctx *smt.Context, o sat.Options) *Solver {
+	s := sat.NewWith(o)
 	return &Solver{
 		ctx: ctx,
 		sat: s,
 		bb:  bitblast.New(ctx, s),
 	}
 }
+
+// SetInprocessing toggles SAT-core inprocessing (ablation; default on).
+func (s *Solver) SetInprocessing(on bool) { s.sat.SetInprocessing(on) }
 
 // Context returns the term context this solver works over.
 func (s *Solver) Context() *smt.Context { return s.ctx }
@@ -95,8 +106,20 @@ func (s *Solver) SetObs(h *obs.Handle) { s.h = h }
 // bound. Exceeding the budget yields Unknown.
 func (s *Solver) SetConflictBudget(n uint64) { s.sat.ConflictBudget = n }
 
-// Assert permanently adds the Boolean term t to the solver.
+// Assert permanently adds the Boolean term t to the solver. Constant terms
+// (the usual result of the rewriter folding a path condition) are handled
+// without touching the bit-blaster or allocating a clause: true is a no-op,
+// false marks the instance trivially unsatisfiable. After asserting false,
+// every Check answers Unsat with an empty failed-assumption set (nil core
+// from CheckCore), the documented clause-set-level-conflict contract.
 func (s *Solver) Assert(t *smt.Term) {
+	switch t.Kind() {
+	case smt.KTrue:
+		return
+	case smt.KFalse:
+		s.sat.AddClause() // empty clause: trivially unsat
+		return
+	}
 	s.sat.AddClause(s.bb.LitFor(t))
 }
 
