@@ -58,52 +58,94 @@ import (
 	"symriscv/internal/iss"
 	"symriscv/internal/microrv32"
 	"symriscv/internal/obs"
+	"symriscv/internal/qstore"
 )
 
 func main() {
-	if len(os.Args) < 2 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// usageError marks an error caused by bad command-line input (unknown flag,
+// malformed flag value, missing operand). The flag package has already
+// printed the message and the flag-set usage when parsing failed; run maps
+// every usageError to exit code 2, runtime failures to exit code 1.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+
+// badUsage wraps a hand-raised usage error, printing it the same way the
+// flag package reports a bad flag (message to stderr, then exit 2 via run).
+func badUsage(stderr io.Writer, format string, args ...any) error {
+	err := fmt.Errorf(format, args...)
+	fmt.Fprintln(stderr, "symv:", err)
+	return usageError{err}
+}
+
+// parseFlags runs one subcommand's flag parsing under the unified error
+// contract: parse failures (which the flag set has already reported to
+// stderr together with its usage text) come back as usageError.
+func parseFlags(fs *flag.FlagSet, args []string) error {
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
+	return nil
+}
+
+// run dispatches one symv invocation and returns its exit code: 0 on
+// success, 2 for command-line usage errors (unknown command or flag, bad
+// flag value — always accompanied by usage text on stderr), 1 for runtime
+// failures.
+func run(args []string, stderr io.Writer) int {
+	if len(args) < 1 {
+		usage(stderr)
+		return 2
 	}
 	var err error
-	switch os.Args[1] {
+	switch args[0] {
 	case "table1":
-		err = cmdTable1(os.Args[2:])
+		err = cmdTable1(args[1:], stderr)
 	case "table2":
-		err = cmdTable2(os.Args[2:])
+		err = cmdTable2(args[1:], stderr)
 	case "hunt":
-		err = cmdHunt(os.Args[2:])
+		err = cmdHunt(args[1:], stderr)
 	case "longrun":
-		err = cmdLongRun(os.Args[2:])
+		err = cmdLongRun(args[1:], stderr)
 	case "ablation":
-		err = cmdAblation(os.Args[2:])
+		err = cmdAblation(args[1:], stderr)
 	case "bench":
-		err = cmdBench(os.Args[2:])
+		err = cmdBench(args[1:], stderr)
 	case "baseline":
-		err = cmdBaseline(os.Args[2:])
+		err = cmdBaseline(args[1:], stderr)
 	case "replay":
-		err = cmdReplay(os.Args[2:])
+		err = cmdReplay(args[1:], stderr)
 	case "trace":
-		err = cmdTrace(os.Args[2:])
+		err = cmdTrace(args[1:], stderr)
+	case "cache":
+		err = cmdCache(args[1:], stderr)
 	case "lint-table":
-		err = cmdLintTable(os.Args[2:])
+		err = cmdLintTable(args[1:], stderr)
 	case "lint-dut":
-		err = cmdLintDUT(os.Args[2:])
+		err = cmdLintDUT(args[1:], stderr)
 	case "-h", "--help", "help":
-		usage()
+		usage(stderr)
 	default:
-		fmt.Fprintf(os.Stderr, "symv: unknown command %q\n", os.Args[1])
-		usage()
-		os.Exit(2)
+		fmt.Fprintf(stderr, "symv: unknown command %q\n", args[0])
+		usage(stderr)
+		return 2
 	}
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "symv:", err)
-		os.Exit(1)
+	switch err := err.(type) {
+	case nil:
+		return 0
+	case usageError:
+		return 2
+	default:
+		fmt.Fprintln(stderr, "symv:", err)
+		return 1
 	}
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `symv — symbolic co-simulation verification of a RISC-V RTL core
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `symv — symbolic co-simulation verification of a RISC-V RTL core
 
 commands:
   table1    regenerate the Table I error/mismatch catalogue
@@ -115,11 +157,14 @@ commands:
   baseline  compare symbolic execution against fuzzing baselines
   replay    re-execute a test vector (name=hexvalue pairs) against a fault
   trace     digest a JSONL observability trace (from -trace FILE)
+  cache     inspect or maintain a persistent witness store (-store DIR):
+            stats | verify | gc | distill
   lint-table  statically verify the decode table (clean + all fault configs)
   lint-dut    static semantic lint of a core's symbolic transition relation
 
 shared flags (every exploration command):
-  -workers N  -cache on|off  -rewrite on|off  -json  -trace FILE  -metrics`)
+  -workers N  -cache on|off  -rewrite on|off  -store DIR  -json
+  -trace FILE  -metrics`)
 }
 
 // sharedFlags is the flag group every exploration subcommand registers: the
@@ -131,6 +176,7 @@ type sharedFlags struct {
 	rewrite   *string
 	inprocess *string
 	portfolio *string
+	store     *string
 	jsonOut   *bool
 	trace     *string
 	metrics   *bool
@@ -145,30 +191,41 @@ func sharedGroup(fs *flag.FlagSet) *sharedFlags {
 		rewrite:   fs.String("rewrite", "on", "extended term rewrites ahead of bit-blasting: on | off"),
 		inprocess: fs.String("inprocess", "on", "SAT-core inprocessing (subsumption, strengthening, variable elimination): on | off"),
 		portfolio: fs.String("portfolio", "off", "diverse deterministic SAT heuristics per worker at -workers >= 2: on | off"),
-		jsonOut:   fs.Bool("json", false, "emit machine-readable JSON instead of the table"),
-		trace:     fs.String("trace", "", "write a JSONL span/counter trace to this file (inspect with symv trace)"),
-		metrics:   fs.Bool("metrics", false, "print the aggregated counter/phase table to stderr after the run"),
+		store: fs.String("store", "",
+			"persistent witness store directory: load compatible cache entries at startup, persist new ones at exploration boundaries (inspect with symv cache)"),
+		jsonOut: fs.Bool("json", false, "emit machine-readable JSON instead of the table"),
+		trace:   fs.String("trace", "", "write a JSONL span/counter trace to this file (inspect with symv trace)"),
+		metrics: fs.Bool("metrics", false, "print the aggregated counter/phase table to stderr after the run"),
 	}
 }
 
-// build validates the group and opens the observability sinks. The returned
-// finish func closes the recorder (flushing the trace file) and prints the
-// -metrics table; call it after the campaign, before emitting results is
-// fine too since both sinks bypass stdout.
-func (g *sharedFlags) build(cmd string) (harness.Common, func() error, error) {
+// build validates the group, opens the observability sinks and (with -store)
+// the persistent witness store session. keyParts are the subcommand's
+// compatibility descriptors (DUT configuration, fault set, workload shape);
+// together with the cache schema version they form the store's version key,
+// so entries never leak between incompatible runs. A store directory that
+// cannot be opened degrades to a cold cache with a stderr warning — it never
+// fails the campaign. The returned finish func closes the store session and
+// the recorder (flushing the trace file) and prints the -metrics table; call
+// it after the campaign, before emitting results is fine too since all these
+// sinks bypass stdout.
+func (g *sharedFlags) build(cmd string, stderr io.Writer, keyParts ...string) (harness.Common, func() error, error) {
 	c := harness.Common{Workers: *g.workers}
 	var ok bool
 	if c.Cache, ok = harness.ParseToggle(*g.cache); !ok {
-		return c, nil, fmt.Errorf("bad -cache=%q (want on or off)", *g.cache)
+		return c, nil, badUsage(stderr, "bad -cache=%q (want on or off)", *g.cache)
 	}
 	if c.Rewrite, ok = harness.ParseToggle(*g.rewrite); !ok {
-		return c, nil, fmt.Errorf("bad -rewrite=%q (want on or off)", *g.rewrite)
+		return c, nil, badUsage(stderr, "bad -rewrite=%q (want on or off)", *g.rewrite)
 	}
 	if c.Inprocess, ok = harness.ParseToggle(*g.inprocess); !ok {
-		return c, nil, fmt.Errorf("bad -inprocess=%q (want on or off)", *g.inprocess)
+		return c, nil, badUsage(stderr, "bad -inprocess=%q (want on or off)", *g.inprocess)
 	}
 	if c.Portfolio, ok = harness.ParseToggle(*g.portfolio); !ok {
-		return c, nil, fmt.Errorf("bad -portfolio=%q (want on or off)", *g.portfolio)
+		return c, nil, badUsage(stderr, "bad -portfolio=%q (want on or off)", *g.portfolio)
+	}
+	for _, w := range c.Warnings() {
+		fmt.Fprintln(stderr, "symv: warning:", w)
 	}
 	var traceFile *os.File
 	if *g.trace != "" || *g.metrics {
@@ -183,13 +240,29 @@ func (g *sharedFlags) build(cmd string) (harness.Common, func() error, error) {
 		}
 		c.Obs = obs.New(obs.Options{Trace: w, Label: "symv " + cmd})
 	}
+	if *g.store != "" {
+		key := qstore.VersionKey(append([]string{"cmd=" + cmd}, keyParts...)...)
+		sess, err := qstore.OpenSession(*g.store, key)
+		if err != nil {
+			fmt.Fprintf(stderr, "symv: warning: store %s unavailable (%v); running with a cold cache\n", *g.store, err)
+		} else {
+			c.Store = sess
+		}
+	}
 	finish := func() error {
+		if c.Store != nil {
+			if err := c.Store.Close(); err != nil {
+				fmt.Fprintf(stderr, "symv: warning: store persist failed (%v); entries from this run may be lost\n", err)
+			}
+			c.Store.PublishObs(c.Obs)
+			fmt.Fprintln(stderr, c.Store.Stats().Summary())
+		}
 		if c.Obs == nil {
 			return nil
 		}
 		closeErr := c.Obs.Close()
 		if *g.metrics {
-			fmt.Fprint(os.Stderr, c.Obs.FormatSnapshot())
+			fmt.Fprint(stderr, c.Obs.FormatSnapshot())
 		}
 		if closeErr != nil {
 			return closeErr
@@ -198,21 +271,24 @@ func (g *sharedFlags) build(cmd string) (harness.Common, func() error, error) {
 			if err := traceFile.Close(); err != nil {
 				return err
 			}
-			fmt.Fprintf(os.Stderr, "trace written to %s (inspect with: symv trace %s)\n", *g.trace, *g.trace)
+			fmt.Fprintf(stderr, "trace written to %s (inspect with: symv trace %s)\n", *g.trace, *g.trace)
 		}
 		return nil
 	}
 	return c, finish, nil
 }
 
-func cmdTable1(args []string) error {
-	fs := flag.NewFlagSet("table1", flag.ExitOnError)
+func cmdTable1(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("table1", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	probeTime := fs.Duration("probe-time", 60*time.Second, "exploration budget per probe scenario")
 	maxPaths := fs.Int("max-paths", 5000, "path budget per probe scenario")
 	shared := sharedGroup(fs)
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
-	common, finish, err := shared.build("table1")
+	common, finish, err := shared.build("table1", stderr)
 	if err != nil {
 		return err
 	}
@@ -232,15 +308,18 @@ func cmdTable1(args []string) error {
 	return finish()
 }
 
-func cmdTable2(args []string) error {
-	fs := flag.NewFlagSet("table2", flag.ExitOnError)
+func cmdTable2(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("table2", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	cellTime := fs.Duration("cell-time", 60*time.Second, "budget per (fault, limit) cell")
 	limitsArg := fs.String("limits", "1,2", "comma-separated instruction limits")
 	faultsArg := fs.String("faults", "", "comma-separated fault subset (default all)")
 	parallel := fs.Int("parallel", 1, "concurrent cells (each with its own solver)")
 	dutArg := fs.String("dut", "microrv32", "device under test: microrv32 | pipeline")
 	shared := sharedGroup(fs)
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	var dut harness.DUTKind
 	switch strings.ToLower(*dutArg) {
@@ -249,21 +328,22 @@ func cmdTable2(args []string) error {
 	case "pipeline", "pipecore":
 		dut = harness.DUTPipeline
 	default:
-		return fmt.Errorf("unknown DUT %q", *dutArg)
+		return badUsage(stderr, "unknown DUT %q", *dutArg)
 	}
 
 	limits, err := parseInts(*limitsArg)
 	if err != nil {
-		return fmt.Errorf("bad -limits: %w", err)
+		return badUsage(stderr, "bad -limits: %v", err)
 	}
 	var fset []faults.Fault
 	if *faultsArg != "" {
 		fset, err = parseFaults(*faultsArg)
 		if err != nil {
-			return err
+			return badUsage(stderr, "%v", err)
 		}
 	}
-	common, finish, err := shared.build("table2")
+	common, finish, err := shared.build("table2", stderr,
+		"dut="+dut.String(), "limits="+*limitsArg, "faults="+*faultsArg)
 	if err != nil {
 		return err
 	}
@@ -314,8 +394,9 @@ func toReportJSON(r *core.Report) reportJSON {
 	return out
 }
 
-func cmdHunt(args []string) error {
-	fs := flag.NewFlagSet("hunt", flag.ExitOnError)
+func cmdHunt(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("hunt", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	faultArg := fs.String("fault", "", "fault to inject (E0..E9); empty = none")
 	limit := fs.Int("limit", 1, "instruction limit")
 	shipped := fs.Bool("shipped", false, "use the as-shipped (buggy) core and VP instead of the fixed baseline")
@@ -328,13 +409,18 @@ func cmdHunt(args []string) error {
 	irq := fs.Bool("interrupts", false, "drive a symbolic external-interrupt line")
 	irqBug := fs.Bool("mie-bug", false, "inject the missing-MIE-gate interrupt fault")
 	shared := sharedGroup(fs)
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	strategy, err := parseSearch(*search)
 	if err != nil {
-		return err
+		return badUsage(stderr, "%v", err)
 	}
-	common, finish, err := shared.build("hunt")
+	common, finish, err := shared.build("hunt", stderr,
+		fmt.Sprintf("shipped=%v", *shipped), "fault="+*faultArg,
+		fmt.Sprintf("limit=%d", *limit), fmt.Sprintf("regs=%d", *regs),
+		fmt.Sprintf("irq=%v", *irq || *irqBug), fmt.Sprintf("miebug=%v", *irqBug))
 	if err != nil {
 		return err
 	}
@@ -350,7 +436,7 @@ func cmdHunt(args []string) error {
 	if *faultArg != "" {
 		fv, err := parseFaults(*faultArg)
 		if err != nil {
-			return err
+			return badUsage(stderr, "%v", err)
 		}
 		coreCfg.Faults = faults.Of(fv...)
 	}
@@ -376,7 +462,7 @@ func cmdHunt(args []string) error {
 		Seed:               *seed,
 	}
 	if *progress {
-		opts.Progress = func(s core.Stats) { fmt.Fprintf(os.Stderr, "  ... %v\n", s) }
+		opts.Progress = func(s core.Stats) { fmt.Fprintf(stderr, "  ... %v\n", s) }
 	}
 	rep := harness.ExploreWith(cosim.RunFunc(cfg), harness.ExploreOptions{Common: common, Core: opts})
 
@@ -403,16 +489,20 @@ func cmdHunt(args []string) error {
 	return finish()
 }
 
-func cmdLongRun(args []string) error {
-	fs := flag.NewFlagSet("longrun", flag.ExitOnError)
-	budget := fs.Duration("budget", 30*time.Second, "exploration budget")
+func cmdLongRun(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("longrun", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	budget := fs.Duration("budget", 30*time.Second, "exploration budget (0 = unbounded: run until the path tree is exhausted)")
 	limit := fs.Int("limit", 1, "instruction limit")
 	regs := fs.Int("regs", 2, "symbolic register slice size")
 	coverage := fs.Bool("coverage", false, "print test-set instruction coverage")
 	shared := sharedGroup(fs)
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
-	common, finish, err := shared.build("longrun")
+	common, finish, err := shared.build("longrun", stderr,
+		fmt.Sprintf("limit=%d", *limit), fmt.Sprintf("regs=%d", *regs))
 	if err != nil {
 		return err
 	}
@@ -439,14 +529,17 @@ func cmdLongRun(args []string) error {
 	return finish()
 }
 
-func cmdAblation(args []string) error {
-	fs := flag.NewFlagSet("ablation", flag.ExitOnError)
+func cmdAblation(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("ablation", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	kind := fs.String("kind", "regs", "ablation kind: regs | limit")
 	budget := fs.Duration("budget", 15*time.Second, "budget per configuration point")
 	shared := sharedGroup(fs)
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
-	common, finish, err := shared.build("ablation")
+	common, finish, err := shared.build("ablation", stderr, "kind="+*kind)
 	if err != nil {
 		return err
 	}
@@ -471,29 +564,32 @@ func cmdAblation(args []string) error {
 		}
 		fmt.Print(harness.FormatLimitAblation(pts))
 	default:
-		return fmt.Errorf("unknown ablation kind %q", *kind)
+		return badUsage(stderr, "unknown ablation kind %q", *kind)
 	}
 	return finish()
 }
 
-func cmdBaseline(args []string) error {
-	fs := flag.NewFlagSet("baseline", flag.ExitOnError)
+func cmdBaseline(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("baseline", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	cellTime := fs.Duration("cell-time", 20*time.Second, "budget per cell")
 	trials := fs.Int("trials", 200000, "fuzzing trial budget per cell")
 	faultsArg := fs.String("faults", "", "comma-separated fault subset (default all)")
 	seed := fs.Int64("seed", 1, "fuzzing seed")
 	shared := sharedGroup(fs)
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	var fset []faults.Fault
 	if *faultsArg != "" {
 		var err error
 		fset, err = parseFaults(*faultsArg)
 		if err != nil {
-			return err
+			return badUsage(stderr, "%v", err)
 		}
 	}
-	common, finish, err := shared.build("baseline")
+	common, finish, err := shared.build("baseline", stderr, "faults="+*faultsArg)
 	if err != nil {
 		return err
 	}
@@ -515,29 +611,32 @@ func cmdBaseline(args []string) error {
 	return finish()
 }
 
-func cmdReplay(args []string) error {
-	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+func cmdReplay(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	faultArg := fs.String("fault", "", "fault to inject (E0..E9); empty = none")
 	limit := fs.Int("limit", 1, "instruction limit")
 	shipped := fs.Bool("shipped", false, "use the as-shipped core and VP")
 	cycleTrace := fs.Bool("cycle-trace", false, "print a per-cycle execution trace")
 	shared := sharedGroup(fs)
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
 	vector := make(smt.MapEnv)
 	for _, kv := range fs.Args() {
 		name, valStr, ok := strings.Cut(kv, "=")
 		if !ok {
-			return fmt.Errorf("replay: want name=hexvalue, got %q", kv)
+			return badUsage(stderr, "replay: want name=hexvalue, got %q", kv)
 		}
 		v, err := strconv.ParseUint(strings.TrimPrefix(valStr, "0x"), 16, 64)
 		if err != nil {
-			return fmt.Errorf("replay: bad value in %q: %w", kv, err)
+			return badUsage(stderr, "replay: bad value in %q: %v", kv, err)
 		}
 		vector[name] = v
 	}
 	if len(vector) == 0 {
-		return fmt.Errorf("replay: no test-vector assignments given")
+		return badUsage(stderr, "replay: no test-vector assignments given")
 	}
 
 	coreCfg := microrv32.FixedConfig()
@@ -549,11 +648,12 @@ func cmdReplay(args []string) error {
 	if *faultArg != "" {
 		fv, err := parseFaults(*faultArg)
 		if err != nil {
-			return err
+			return badUsage(stderr, "%v", err)
 		}
 		coreCfg.Faults = faults.Of(fv...)
 	}
-	common, finish, err := shared.build("replay")
+	common, finish, err := shared.build("replay", stderr,
+		fmt.Sprintf("shipped=%v", *shipped), "fault="+*faultArg, fmt.Sprintf("limit=%d", *limit))
 	if err != nil {
 		return err
 	}
@@ -598,13 +698,16 @@ func cmdReplay(args []string) error {
 // cmdTrace digests a JSONL observability trace written by -trace FILE: the
 // top phases by cumulative time, the duration histogram per phase, and the
 // counter/gauge totals.
-func cmdTrace(args []string) error {
-	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+func cmdTrace(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	top := fs.Int("top", 8, "show the top N phases by cumulative time (0 = all)")
 	jsonOut := fs.Bool("json", false, "emit the digest as JSON instead of the tables")
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: symv trace [-top N] TRACE.jsonl")
+		return badUsage(stderr, "usage: symv trace [-top N] TRACE.jsonl")
 	}
 	f, err := os.Open(fs.Arg(0))
 	if err != nil {
@@ -622,8 +725,9 @@ func cmdTrace(args []string) error {
 	return nil
 }
 
-func cmdBench(args []string) error {
-	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+func cmdBench(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	budget := fs.Duration("budget", 10*time.Second, "throughput budget per worker count")
 	huntTime := fs.Duration("hunt-time", 30*time.Second, "time-to-bug budget per fault")
 	faultsArg := fs.String("faults", "", "comma-separated time-to-bug faults (default E1,E5,E6)")
@@ -632,9 +736,11 @@ func cmdBench(args []string) error {
 	ablate := fs.Bool("ablate", false, "run the cache-on/cache-off equivalence check even outside -quick")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the whole benchmark to this file")
 	shared := sharedGroup(fs)
-	fs.Parse(args)
+	if err := parseFlags(fs, args); err != nil {
+		return err
+	}
 
-	common, finish, err := shared.build("bench")
+	common, finish, err := shared.build("bench", stderr)
 	if err != nil {
 		return err
 	}
@@ -661,7 +767,7 @@ func cmdBench(args []string) error {
 	if *faultsArg != "" {
 		fset, err := parseFaults(*faultsArg)
 		if err != nil {
-			return err
+			return badUsage(stderr, "%v", err)
 		}
 		opt.Faults = fset
 	}
@@ -696,7 +802,7 @@ func cmdBench(args []string) error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
+		fmt.Fprintf(stderr, "wrote %s\n", *jsonPath)
 	}
 	if err := finish(); err != nil {
 		return err
@@ -708,6 +814,133 @@ func cmdBench(args []string) error {
 		return fmt.Errorf("bench: solver equivalence mismatch: %s", res.SolverMat.Mismatch)
 	}
 	return nil
+}
+
+// cmdCache is the offline maintenance interface of the persistent witness
+// store (the -store DIR every exploration subcommand accepts):
+//
+//	symv cache stats   -store DIR [-json]   inventory per version key
+//	symv cache verify  -store DIR [-json]   decode everything, exit 1 on damage
+//	symv cache gc      -store DIR [-json]   compact: dedup entries, drop damage
+//	symv cache distill -store DIR [-key K] [-json]
+//	                                        reduce sat witnesses to a minimal
+//	                                        regression corpus (greedy set
+//	                                        cover), replayable via symv replay
+func cmdCache(args []string, stderr io.Writer) error {
+	if len(args) < 1 {
+		return badUsage(stderr, "usage: symv cache <stats|verify|gc|distill> -store DIR")
+	}
+	op := args[0]
+	fs := flag.NewFlagSet("cache "+op, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("store", "", "witness store directory (required)")
+	keyArg := fs.String("key", "", "restrict distill to one version key (default all keys)")
+	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of the report")
+	switch op {
+	case "stats", "verify", "gc", "distill":
+	default:
+		return badUsage(stderr, "cache: unknown operation %q (want stats, verify, gc or distill)", op)
+	}
+	if err := parseFlags(fs, args[1:]); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return badUsage(stderr, "cache %s: -store DIR is required", op)
+	}
+	store, err := qstore.Open(*dir)
+	if err != nil {
+		return err
+	}
+	emit := func(v any) error {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}
+	switch op {
+	case "stats":
+		st, err := store.Stats()
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return emit(st)
+		}
+		fmt.Print(formatStoreStats(st))
+	case "verify":
+		st, issues, err := store.Verify()
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			if err := emit(struct {
+				Stats  qstore.StoreStats
+				Issues []qstore.Issue
+			}{st, issues}); err != nil {
+				return err
+			}
+		} else {
+			fmt.Print(formatStoreStats(st))
+			for _, is := range issues {
+				fmt.Printf("issue: %s: %s: %s\n", is.Segment, is.Kind, is.Detail)
+			}
+		}
+		if len(issues) > 0 {
+			return fmt.Errorf("cache verify: %d issue(s) found", len(issues))
+		}
+		if !*jsonOut {
+			fmt.Println("store verifies clean")
+		}
+	case "gc":
+		res, err := store.GC()
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return emit(res)
+		}
+		fmt.Printf("gc: %d segment(s) -> %d, %d record(s) -> %d entries (%d duplicate(s), %d corrupt dropped), %d bytes -> %d\n",
+			res.SegmentsBefore, res.SegmentsAfter, res.EntriesBefore, res.EntriesAfter,
+			res.DroppedDuplicates, res.DroppedCorrupt, res.BytesBefore, res.BytesAfter)
+	case "distill":
+		rs, err := store.Distill(*keyArg)
+		if err != nil {
+			return err
+		}
+		if *jsonOut {
+			return emit(rs)
+		}
+		if len(rs) == 0 {
+			fmt.Println("no satisfiable witnesses to distill")
+			return nil
+		}
+		for _, r := range rs {
+			fmt.Printf("key %s: %d witness(es), %d constraint set(s), corpus of %d vector(s)\n",
+				r.Key, r.Witnesses, r.Universe, len(r.Vectors))
+			for i, v := range r.Vectors {
+				fmt.Printf("  vector %d (covers %d): %s\n", i+1, v.Covers, v.ReplayArgs())
+			}
+		}
+	}
+	return nil
+}
+
+// formatStoreStats renders the offline inventory table.
+func formatStoreStats(st qstore.StoreStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "store %s: %d segment(s), %d bytes", st.Dir, st.Segments, st.Bytes)
+	if st.CorruptSegments > 0 {
+		fmt.Fprintf(&b, ", %d corrupt segment(s)", st.CorruptSegments)
+	}
+	b.WriteString("\n")
+	for _, k := range st.Keys {
+		fmt.Fprintf(&b, "  key %s: %d segment(s), %d entr(ies) (%d distinct; %d sat, %d unsat)",
+			k.Key, k.Segments, k.Entries, k.Distinct, k.Sat, k.Unsat)
+		if k.CorruptRecords > 0 {
+			fmt.Fprintf(&b, ", %d corrupt record(s) skipped", k.CorruptRecords)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
 }
 
 func parseSearch(s string) (core.SearchStrategy, error) {
@@ -771,12 +1004,13 @@ func sortedKeys(m map[string]uint64) []string {
 // the M extension. It exits non-zero on any overlap, gap, malformed row, or
 // unexplained deviation; the E0–E2 mask widenings appear as intentional
 // deviations in the output.
-func cmdLintTable(args []string) error {
-	fs := flag.NewFlagSet("lint-table", flag.ExitOnError)
+func cmdLintTable(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lint-table", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	coreFlag := fs.String("core", "microrv32", "decode table to verify: microrv32 | pipecore | both")
 	verbose := fs.Bool("v", false, "print the full report for every configuration")
 	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of the report")
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 	var reps []*decodecheck.Report
@@ -785,7 +1019,7 @@ func cmdLintTable(args []string) error {
 		case "microrv32", "pipecore":
 			reps = append(reps, decodecheck.CheckAllFor(decodecheck.CoreKind(name))...)
 		default:
-			return fmt.Errorf("lint-table: unknown core %q (want microrv32, pipecore or both)", name)
+			return badUsage(stderr, "lint-table: unknown core %q (want microrv32, pipecore or both)", name)
 		}
 	}
 	if *jsonOut {
@@ -819,8 +1053,9 @@ func cmdLintTable(args []string) error {
 // unconstrained inputs, constant candidates, width/strobe discipline and
 // (with -sat-probe) decode-arm selectability. Exit status is non-zero when
 // any finding is not covered by the allowlist.
-func cmdLintDUT(args []string) error {
-	fs := flag.NewFlagSet("lint-dut", flag.ExitOnError)
+func cmdLintDUT(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lint-dut", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	coreFlag := fs.String("core", "both", "core to lint: microrv32 | pipecore | both")
 	allowPath := fs.String("allowlist", "LINTDUT.allow",
 		"allowlist of intentional findings (\"\" lints with no allowlist; the default is optional, an explicit file must exist)")
@@ -831,11 +1066,12 @@ func cmdLintDUT(args []string) error {
 	maxTime := fs.Duration("time", 0, "exploration wall-clock bound (0 = unlimited)")
 	verbose := fs.Bool("v", false, "print the per-observable cone-of-influence breakdown")
 	shared := sharedGroup(fs)
-	if err := fs.Parse(args); err != nil {
+	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 
-	common, finish, err := shared.build("lint-dut")
+	common, finish, err := shared.build("lint-dut", stderr,
+		"core="+*coreFlag, fmt.Sprintf("regs=%d", *numRegs), fmt.Sprintf("satprobe=%v", *satProbe))
 	if err != nil {
 		return err
 	}

@@ -100,6 +100,12 @@ type Options struct {
 	// independence slicing, feasibility caching): every engine query goes
 	// straight to the SAT core. Ablation mode (symv -cache=off).
 	NoQueryCache bool
+	// SharedCache, when non-nil, is the cross-worker (and, via
+	// internal/qstore, cross-campaign) feasibility store the exploration
+	// attaches to. Entries flow in at startup and out at hand-off points.
+	// Ignored when NoQueryCache is set. Like every cache layer it is
+	// answer-preserving: reports are byte-identical with and without it.
+	SharedCache *querycache.Shared
 	// NoTermRewrites disables the extended term rewrite rules, leaving only
 	// the basic constant folds. Ablation mode (symv -rewrite=off).
 	NoTermRewrites bool
@@ -218,6 +224,9 @@ func (x *Explorer) Explore(opts Options) *Report {
 	} else if x.qc == nil {
 		x.qc = querycache.NewLocal(x.ctx, x.sol, nil)
 	}
+	if x.qc != nil && opts.SharedCache != nil {
+		x.qc.AttachShared(opts.SharedCache)
+	}
 
 	h := opts.Obs.NewHandle(0)
 	x.sol.SetObs(h)
@@ -315,6 +324,11 @@ func (x *Explorer) Explore(opts Options) *Report {
 // published, and the handle's shards merge into the recorder.
 func (x *Explorer) finish(rep *Report, start time.Time, root *obs.Span, h *obs.Handle) *Report {
 	rep.Stats.Elapsed = wallNow().Sub(start)
+	if x.qc != nil {
+		// Publish locally created entries to the shared store (no-op without
+		// one) — the sequential explorer's hand-off boundary is completion.
+		x.qc.Flush()
+	}
 	x.fillSizes(rep)
 	root.End()
 	publishObs(h, rep.Stats, x.sol.Stats())

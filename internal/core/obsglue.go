@@ -37,6 +37,7 @@ const (
 	CtrCacheSliced        = "cache.sliced"
 	CtrCacheSlicedDropped = "cache.sliced_dropped"
 	CtrCacheEliminated    = "cache.eliminated"
+	CtrCacheStoreHits     = "cache.store_hits"
 
 	CtrRewriteHits = "rewrite.hits"
 
@@ -95,6 +96,7 @@ func publishBackendObs(h *obs.Handle, ss solver.Stats, cs querycache.Stats, rewr
 	h.Add(CtrCacheSliced, cs.SlicedQueries)
 	h.Add(CtrCacheSlicedDropped, cs.SlicedDropped)
 	h.Add(CtrCacheEliminated, cs.Eliminated())
+	h.Add(CtrCacheStoreHits, cs.StoreHits)
 
 	h.Add(CtrRewriteHits, rewrites)
 

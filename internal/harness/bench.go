@@ -12,6 +12,7 @@ import (
 	"symriscv/internal/faults"
 	"symriscv/internal/iss"
 	"symriscv/internal/microrv32"
+	"symriscv/internal/qstore"
 	"symriscv/internal/sat"
 )
 
@@ -110,6 +111,9 @@ type BenchThroughput struct {
 	SlicedDropped  uint64
 	RewriteHits    uint64
 	SolverUnknowns uint64
+	// StoreHits counts eliminations answered by entries that came from the
+	// persistent store (symv -store); zero without one or on a cold store.
+	StoreHits uint64
 
 	// SAT-core internals (summed over all workers' solvers): how much work
 	// the CDCL search itself did, and what inprocessing removed.
@@ -128,6 +132,7 @@ func (t *BenchThroughput) fillTelemetry(s core.Stats) {
 	t.SlicedDropped = s.Cache.SlicedDropped
 	t.RewriteHits = s.RewriteHits
 	t.SolverUnknowns = s.SolverUnknowns
+	t.StoreHits = s.Cache.StoreHits
 	t.SAT = s.SAT
 }
 
@@ -161,6 +166,11 @@ type BenchAblation struct {
 	CDCLOff       uint64
 	// ReductionPct is the share of SAT-core queries the layer removed.
 	ReductionPct float64
+	// StoreHits counts cache-on eliminations answered from the persistent
+	// store. On a warm store the bounded cache-on run re-answers prior
+	// campaigns' queries without the SAT core, so CDCLOn drops below a cold
+	// run's while every deterministic field stays identical.
+	StoreHits uint64
 }
 
 // BenchSolverConfig is one row of the solver-equivalence matrix: the same
@@ -207,6 +217,10 @@ type BenchReport struct {
 	Hunts      []BenchHunt
 	Ablation   *BenchAblation       `json:",omitempty"`
 	SolverMat  *BenchSolverAblation `json:",omitempty"`
+	// Store summarises the persistent witness store session (symv bench
+	// -store DIR): entries loaded/persisted and damage skipped. Telemetry
+	// only — never part of determinism comparisons.
+	Store *qstore.SessionStats `json:",omitempty"`
 }
 
 // RunBench measures exploration throughput (paths/sec, solver queries/sec on
@@ -290,6 +304,10 @@ func RunBench(opt BenchOptions) *BenchReport {
 		rep.Ablation = runCacheAblation(opt)
 		rep.SolverMat = runSolverAblation(opt)
 	}
+	if opt.Store != nil {
+		st := opt.Store.Stats()
+		rep.Store = &st
+	}
 	return rep
 }
 
@@ -305,6 +323,9 @@ func runSolverAblation(opt BenchOptions) *BenchSolverAblation {
 		NumSymbolicRegs: opt.NumRegs,
 	}
 	bounded := core.Options{MaxPaths: opt.AblationMaxPaths, Obs: opt.Obs}
+	if opt.Store != nil {
+		bounded.SharedCache = opt.Store.Shared()
+	}
 
 	type variant struct {
 		name      string
@@ -350,6 +371,7 @@ func runSolverAblation(opt BenchOptions) *BenchSolverAblation {
 		for i, f := range r.Findings {
 			keys[i] = fmt.Sprintf("path %d: %s", f.Path, findingClass(f.Err))
 		}
+		opt.Store.Checkpoint()
 		if base == nil {
 			base, baseFindings = r, keys
 			continue
@@ -393,7 +415,15 @@ func runCacheAblation(opt BenchOptions) *BenchAblation {
 		NumSymbolicRegs: opt.NumRegs,
 	}
 	bounded := core.Options{MaxPaths: opt.AblationMaxPaths, Obs: opt.Obs}
-	on := exploreWorkers(cosim.RunFunc(cfg), bounded, 1)
+	onOpts := bounded
+	if opt.Store != nil {
+		// The cache-on leg attaches to the persistent store: on a warm store
+		// it re-answers prior campaigns' queries without the SAT core, which
+		// is exactly what CDCLOn measures. The cache-off leg never touches it.
+		onOpts.SharedCache = opt.Store.Shared()
+	}
+	on := exploreWorkers(cosim.RunFunc(cfg), onOpts, 1)
+	opt.Store.Checkpoint()
 	offOpts := bounded
 	offOpts.NoQueryCache = true
 	off := exploreWorkers(cosim.RunFunc(cfg), offOpts, 1)
@@ -407,6 +437,7 @@ func runCacheAblation(opt BenchOptions) *BenchAblation {
 		SolverQueries: on.Stats.SolverQueries,
 		CDCLOn:        on.Stats.CDCLQueries,
 		CDCLOff:       off.Stats.CDCLQueries,
+		StoreHits:     on.Stats.Cache.StoreHits,
 	}
 	if ab.CDCLOff > 0 {
 		ab.ReductionPct = 100 * float64(ab.CDCLOff-ab.CDCLOn) / float64(ab.CDCLOff)
@@ -482,9 +513,9 @@ func (r *BenchReport) Format() string {
 			t.Workers, t.Paths, t.Completed, t.SolverQueries, t.CDCLQueries, t.Eliminated, t.PathsPerSec, t.Speedup)
 	}
 	for _, t := range r.Throughput {
-		fmt.Fprintf(&b, "  cache w=%d: stack=%d exact=%d subset=%d superset=%d sliced=%d(-%d) rewrites=%d unknowns=%d\n",
+		fmt.Fprintf(&b, "  cache w=%d: stack=%d exact=%d subset=%d superset=%d sliced=%d(-%d) rewrites=%d unknowns=%d store=%d\n",
 			t.Workers, t.StackHits, t.ExactHits, t.SubsetSat, t.SupersetUnsat,
-			t.SlicedQueries, t.SlicedDropped, t.RewriteHits, t.SolverUnknowns)
+			t.SlicedQueries, t.SlicedDropped, t.RewriteHits, t.SolverUnknowns, t.StoreHits)
 	}
 	for _, t := range r.Throughput {
 		s := t.SAT
@@ -516,6 +547,9 @@ func (r *BenchReport) Format() string {
 			a.Paths, a.Completed, a.Findings, a.SolverQueries)
 		fmt.Fprintf(&b, "  SAT-core queries: %d (cache off) -> %d (cache on), %.1f%% eliminated\n",
 			a.CDCLOff, a.CDCLOn, a.ReductionPct)
+		if a.StoreHits > 0 {
+			fmt.Fprintf(&b, "  store hits: %d\n", a.StoreHits)
+		}
 	}
 	if m := r.SolverMat; m != nil {
 		verdict := "MATCH"
@@ -528,6 +562,9 @@ func (r *BenchReport) Format() string {
 				c.Name, c.Workers, onOff(c.Inprocess), onOff(c.Portfolio),
 				c.Paths, c.Completed, c.Findings, c.SolverQueries, c.CDCLQueries, c.SAT.Conflicts)
 		}
+	}
+	if r.Store != nil {
+		fmt.Fprintf(&b, "\n%s\n", r.Store.Summary())
 	}
 	return b.String()
 }

@@ -7,6 +7,7 @@ import (
 	"symriscv/internal/core"
 	"symriscv/internal/obs"
 	"symriscv/internal/parexplore"
+	"symriscv/internal/qstore"
 )
 
 // Toggle is a tri-state ablation switch as it appears on the command line:
@@ -59,8 +60,18 @@ type Common struct {
 	// layer (spans, counters, JSONL traces). Strictly a side channel:
 	// reports are byte-identical with and without it.
 	Obs *obs.Recorder
+	// Store, when non-nil, is the persistent cross-campaign witness store
+	// session (symv -store DIR): every exploration attaches to its shared
+	// cache, and new entries are checkpointed to disk after each exploration
+	// — the same hand-off boundary where workers flush into the shared
+	// cache. Like Obs it is strictly a side channel: reports are
+	// byte-identical with and without it, warm or cold.
+	Store *qstore.Session
 	// Budget bounds each exploration's wall time when the command does not
 	// override it with a more specific budget (PerProbeTime, PerCellTime...).
+	// 0 means unbounded for every campaign — commands that want a default
+	// budget declare it on their flag, never by reinterpreting the zero
+	// value (LongRun used to silently turn 0 into 30s; it no longer does).
 	Budget time.Duration
 	// MaxPaths bounds each exploration's path count (0 = unbounded unless
 	// the command sets its own default).
@@ -85,12 +96,29 @@ func (c Common) apply(o core.Options) core.Options {
 	if o.MaxPaths == 0 {
 		o.MaxPaths = c.MaxPaths
 	}
+	if o.SharedCache == nil && c.Store != nil {
+		o.SharedCache = c.Store.Shared()
+	}
 	return o
 }
 
-// explore runs one exploration under the shared options.
+// explore runs one exploration under the shared options, checkpointing the
+// persistent store (when one is attached) at the exploration boundary.
 func (c Common) explore(run core.RunFunc, o core.Options) *core.Report {
-	return exploreWorkers(run, c.apply(o), c.Workers)
+	rep := exploreWorkers(run, c.apply(o), c.Workers)
+	c.Store.Checkpoint()
+	return rep
+}
+
+// Warnings returns non-fatal notes about option combinations that silently
+// do nothing, for the CLI to surface on stderr. Kept advisory on purpose:
+// none of these change any report.
+func (c Common) Warnings() []string {
+	var ws []string
+	if c.Portfolio == On && c.Workers <= 1 {
+		ws = append(ws, "-portfolio=on has no effect with a single worker; set -workers=2 or more to diversify SAT heuristics")
+	}
+	return ws
 }
 
 // exploreWorkers routes one exploration to the sequential explorer

@@ -22,8 +22,10 @@ type LongRunResult struct {
 	Workers int
 }
 
-// LongRunOptions configure the comprehensive exploration; Common.Budget
-// bounds the run (default 30s).
+// LongRunOptions configure the comprehensive exploration. Common.Budget
+// bounds the run; 0 means unbounded (explore until the path tree is
+// exhausted), the same zero-value contract every other campaign follows —
+// the 30s default lives on the symv longrun -budget flag, not here.
 type LongRunOptions struct {
 	Common
 	// InstrLimit / NumRegs fix the workload (defaults 1 and 2).
@@ -40,9 +42,6 @@ func LongRun(opt LongRunOptions) *LongRunResult {
 	}
 	if opt.NumRegs == 0 {
 		opt.NumRegs = 2
-	}
-	if opt.Budget == 0 {
-		opt.Budget = 30 * time.Second
 	}
 	cfg := cosim.Config{
 		ISS:             iss.VPConfig(),
@@ -67,8 +66,12 @@ func RunLongRun(budget time.Duration, instrLimit, numRegs, workers int, ab Ablat
 func (r *LongRunResult) Format() string {
 	var b strings.Builder
 	s := r.Report.Stats
+	budget := r.Budget.String()
+	if r.Budget == 0 {
+		budget = "unbounded"
+	}
 	fmt.Fprintf(&b, "Exemplary comprehensive exploration (budget %s, instruction limit %d, %d symbolic registers):\n",
-		r.Budget, r.Limit, r.NumRegs)
+		budget, r.Limit, r.NumRegs)
 	fmt.Fprintf(&b, "  runtime            %s\n", s.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(&b, "  executed instrs    %d\n", s.Instructions)
 	fmt.Fprintf(&b, "  paths (complete)   %d\n", s.Completed)

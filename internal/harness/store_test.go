@@ -1,0 +1,199 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"symriscv/internal/core"
+	"symriscv/internal/cosim"
+	"symriscv/internal/iss"
+	"symriscv/internal/microrv32"
+	"symriscv/internal/qstore"
+)
+
+// storeWorkload is the bounded exploration used by the store equivalence
+// tests: small enough to be quick, big enough to populate the cache.
+func storeWorkload() (core.RunFunc, core.Options) {
+	cfg := cosim.Config{
+		ISS:             iss.VPConfig(),
+		Core:            microrv32.ShippedConfig(),
+		InstrLimit:      1,
+		NumSymbolicRegs: 1,
+	}
+	return cosim.RunFunc(cfg), core.Options{MaxPaths: 120}
+}
+
+// deterministicKey flattens a report's deterministic fields — the contract
+// that must not move with store state (absent, cold, warm, corrupted).
+func deterministicKey(t *testing.T, r *core.Report) string {
+	t.Helper()
+	var b strings.Builder
+	fmt.Fprintf(&b, "paths=%d completed=%d partial=%d infeasible=%d queries=%d exhausted=%v\n",
+		r.Stats.Paths, r.Stats.Completed, r.Stats.Partial, r.Stats.Infeasible,
+		r.Stats.SolverQueries, r.Exhausted)
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "finding path=%d class=%s\n", f.Path, findingClass(f.Err))
+	}
+	return b.String()
+}
+
+// TestStoreEquivalence pins the tentpole contract: the same bounded
+// exploration reports byte-identical deterministic fields with no store, a
+// cold store, a warm store, and a corrupted store — while the warm run
+// answers part of its queries from disk (StoreHits > 0, fewer SAT-core
+// queries than the cold run).
+func TestStoreEquivalence(t *testing.T) {
+	run, opts := storeWorkload()
+	dir := t.TempDir()
+	key := qstore.VersionKey("test=store-equivalence")
+
+	// A: no store at all.
+	a := ExploreWith(run, ExploreOptions{Common: Common{Workers: 1}, Core: opts})
+	wantKey := deterministicKey(t, a)
+
+	// B: cold store — populates it.
+	sessB, err := qstore.OpenSession(dir, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := ExploreWith(run, ExploreOptions{Common: Common{Workers: 1, Store: sessB}, Core: opts})
+	if err := sessB.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := deterministicKey(t, b); got != wantKey {
+		t.Fatalf("cold-store report diverged:\n%s\nvs\n%s", got, wantKey)
+	}
+	if st := sessB.Stats(); st.Persisted == 0 {
+		t.Fatalf("cold run persisted nothing: %+v", st)
+	}
+
+	// C: warm store — must hit it and skip SAT-core work.
+	sessC, err := qstore.OpenSession(dir, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := sessC.Stats(); st.Loaded == 0 {
+		t.Fatalf("warm session loaded nothing: %+v", st)
+	}
+	c := ExploreWith(run, ExploreOptions{Common: Common{Workers: 1, Store: sessC}, Core: opts})
+	if err := sessC.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := deterministicKey(t, c); got != wantKey {
+		t.Fatalf("warm-store report diverged:\n%s\nvs\n%s", got, wantKey)
+	}
+	if c.Stats.Cache.StoreHits == 0 {
+		t.Fatal("warm run reported no store hits")
+	}
+	if c.Stats.CDCLQueries >= a.Stats.CDCLQueries {
+		t.Fatalf("warm run did not reduce SAT-core queries: warm %d, cold %d",
+			c.Stats.CDCLQueries, a.Stats.CDCLQueries)
+	}
+
+	// D: corrupted store — damage is skipped and counted, never fatal, and
+	// the report still does not move.
+	segs, err := filepath.Glob(filepath.Join(dir, "*.qseg"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments to corrupt: %v", err)
+	}
+	raw, err := os.ReadFile(segs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(segs[0], raw[:len(raw)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sessD, err := qstore.OpenSession(dir, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := sessD.Stats(); st.CorruptRecords == 0 {
+		t.Fatalf("truncated segment not counted: %+v", st)
+	}
+	d := ExploreWith(run, ExploreOptions{Common: Common{Workers: 1, Store: sessD}, Core: opts})
+	if err := sessD.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := deterministicKey(t, d); got != wantKey {
+		t.Fatalf("corrupted-store report diverged:\n%s\nvs\n%s", got, wantKey)
+	}
+}
+
+// TestStoreParallelEquivalence checks that the persistent store composes
+// with the sharded orchestrator: a warm parallel run reports the same
+// deterministic fields as the sequential baseline and still hits the store.
+func TestStoreParallelEquivalence(t *testing.T) {
+	run, opts := storeWorkload()
+	dir := t.TempDir()
+	key := qstore.VersionKey("test=store-parallel")
+
+	seq := ExploreWith(run, ExploreOptions{Common: Common{Workers: 1}, Core: opts})
+	wantKey := deterministicKey(t, seq)
+
+	sess, err := qstore.OpenSession(dir, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmup := ExploreWith(run, ExploreOptions{Common: Common{Workers: 1, Store: sess}, Core: opts})
+	if got := deterministicKey(t, warmup); got != wantKey {
+		t.Fatalf("store warmup diverged:\n%s\nvs\n%s", got, wantKey)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sess2, err := qstore.OpenSession(dir, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := ExploreWith(run, ExploreOptions{Common: Common{Workers: 3, Store: sess2}, Core: opts})
+	if err := sess2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := deterministicKey(t, par); got != wantKey {
+		t.Fatalf("warm parallel report diverged:\n%s\nvs\n%s", got, wantKey)
+	}
+	if par.Stats.Cache.StoreHits == 0 {
+		t.Fatal("warm parallel run reported no store hits")
+	}
+}
+
+// TestLongRunUnboundedBudget pins the normalized zero-value contract:
+// Budget 0 means unbounded (the exploration is stopped by other bounds or
+// exhaustion), not a silent 30-second default.
+func TestLongRunUnboundedBudget(t *testing.T) {
+	res := LongRun(LongRunOptions{
+		Common:     Common{Workers: 1, Budget: 0, MaxPaths: 5},
+		InstrLimit: 1,
+		NumRegs:    1,
+	})
+	if res.Budget != 0 {
+		t.Fatalf("LongRun rewrote Budget 0 to %v", res.Budget)
+	}
+	if res.Report.Stats.Paths != 5 {
+		t.Fatalf("path bound ignored: explored %d paths", res.Report.Stats.Paths)
+	}
+	if out := res.Format(); !strings.Contains(out, "budget unbounded") {
+		t.Fatalf("Format does not render the unbounded budget:\n%s", out)
+	}
+}
+
+// TestCommonWarnings pins the portfolio/workers interaction note.
+func TestCommonWarnings(t *testing.T) {
+	if ws := (Common{Workers: 1, Portfolio: On}).Warnings(); len(ws) != 1 ||
+		!strings.Contains(ws[0], "-portfolio") {
+		t.Fatalf("want one portfolio warning, got %q", ws)
+	}
+	for _, c := range []Common{
+		{Workers: 2, Portfolio: On},
+		{Workers: 1},
+		{Workers: 1, Portfolio: Off},
+	} {
+		if ws := c.Warnings(); len(ws) != 0 {
+			t.Fatalf("unexpected warnings for %+v: %q", c, ws)
+		}
+	}
+}

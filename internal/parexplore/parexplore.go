@@ -392,10 +392,15 @@ func Explore(run core.RunFunc, opts core.Options, workers int) *core.Report {
 	}
 	// One read-mostly cache store spans all workers; each shard buffers its
 	// new entries locally and publishes them at hand-off points, so cache
-	// traffic never serialises the hot path.
-	var store *querycache.Shared
-	if !opts.NoQueryCache {
+	// traffic never serialises the hot path. A caller-provided store
+	// (opts.SharedCache, e.g. the persistent qstore session's) is reused so
+	// entries survive beyond this exploration.
+	store := opts.SharedCache
+	if store == nil && !opts.NoQueryCache {
 		store = querycache.NewShared()
+	}
+	if opts.NoQueryCache {
+		store = nil
 	}
 	shards := make([]*core.Shard, workers)
 	for i := range shards {

@@ -1,0 +1,375 @@
+package qstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"symriscv/internal/querycache"
+)
+
+// KeyStats aggregates one version key's share of the store.
+type KeyStats struct {
+	Key            string
+	Segments       int
+	Entries        int // valid records (duplicates across segments included)
+	Distinct       int // distinct entry keys
+	Sat            int
+	Unsat          int
+	CorruptRecords int
+}
+
+// StoreStats is the offline inventory behind symv cache stats.
+type StoreStats struct {
+	Dir             string
+	Segments        int
+	Bytes           int64
+	CorruptSegments int
+	Keys            []KeyStats // sorted by version key
+}
+
+// Issue describes one piece of damage or noteworthy state found by Verify.
+type Issue struct {
+	Segment string
+	Kind    string // "corrupt-segment" | "corrupt-records"
+	Detail  string
+}
+
+// scan walks every segment once, aggregating per-key statistics and
+// reporting issues. It is the shared engine of Stats and Verify.
+func (s *Store) scan(onIssue func(Issue)) (StoreStats, error) {
+	st := StoreStats{Dir: s.dir}
+	segs, err := s.segments()
+	if err != nil {
+		return st, err
+	}
+	type keyAgg struct {
+		ks       KeyStats
+		distinct map[string]struct{}
+	}
+	byKey := make(map[string]*keyAgg)
+	keys := []string{}
+	for _, name := range segs {
+		path := filepath.Join(s.dir, name)
+		fi, err := os.Stat(path)
+		if err == nil {
+			st.Bytes += fi.Size()
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			st.CorruptSegments++
+			if onIssue != nil {
+				onIssue(Issue{Segment: name, Kind: "corrupt-segment", Detail: err.Error()})
+			}
+			continue
+		}
+		var sat, unsat int
+		var segKeys []string
+		key, records, corrupt, rerr := readSegment(f, "", func(pe querycache.PortableEntry) {
+			if pe.Sat {
+				sat++
+			} else {
+				unsat++
+			}
+			segKeys = append(segKeys, pe.Key)
+		})
+		if cerr := f.Close(); cerr != nil && rerr == nil {
+			rerr = cerr
+		}
+		if rerr != nil {
+			st.CorruptSegments++
+			if onIssue != nil {
+				onIssue(Issue{Segment: name, Kind: "corrupt-segment", Detail: rerr.Error()})
+			}
+			continue
+		}
+		st.Segments++
+		agg := byKey[key]
+		if agg == nil {
+			agg = &keyAgg{ks: KeyStats{Key: key}, distinct: make(map[string]struct{})}
+			byKey[key] = agg
+			keys = append(keys, key)
+		}
+		agg.ks.Segments++
+		agg.ks.Entries += records
+		agg.ks.Sat += sat
+		agg.ks.Unsat += unsat
+		agg.ks.CorruptRecords += corrupt
+		for _, ek := range segKeys {
+			agg.distinct[ek] = struct{}{}
+		}
+		if corrupt > 0 && onIssue != nil {
+			onIssue(Issue{Segment: name, Kind: "corrupt-records",
+				Detail: fmt.Sprintf("%d damaged or truncated record(s) skipped", corrupt)})
+		}
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		agg := byKey[k]
+		agg.ks.Distinct = len(agg.distinct)
+		st.Keys = append(st.Keys, agg.ks)
+	}
+	return st, nil
+}
+
+// Stats inventories the store without modifying it.
+func (s *Store) Stats() (StoreStats, error) {
+	return s.scan(nil)
+}
+
+// Verify inventories the store and returns every integrity issue found.
+// An empty issue list means every segment decoded end to end with every
+// checksum passing.
+func (s *Store) Verify() (StoreStats, []Issue, error) {
+	var issues []Issue
+	st, err := s.scan(func(is Issue) { issues = append(issues, is) })
+	return st, issues, err
+}
+
+// GCResult describes one compaction.
+type GCResult struct {
+	SegmentsBefore    int
+	SegmentsAfter     int
+	EntriesBefore     int // valid records read (duplicates included)
+	EntriesAfter      int // distinct entries kept
+	DroppedCorrupt    int // damaged records left behind
+	DroppedDuplicates int
+	BytesBefore       int64
+	BytesAfter        int64
+}
+
+// GC compacts the store: for each version key, every valid entry is
+// collected, deduplicated, and rewritten as one segment; old segments (and
+// any damage inside them) are removed. Runs under the exclusive write lock.
+func (s *Store) GC() (GCResult, error) {
+	var res GCResult
+	lock, err := s.lock()
+	if err != nil {
+		return res, err
+	}
+	defer lock.unlock()
+
+	segs, err := s.segments()
+	if err != nil {
+		return res, err
+	}
+	res.SegmentsBefore = len(segs)
+
+	// Pass 1: collect every valid entry, deduplicated per version key.
+	byKey := make(map[string][]querycache.PortableEntry)
+	seen := make(map[string]struct{}) // key + "\x00" + entryKey
+	keys := []string{}
+	for _, name := range segs {
+		path := filepath.Join(s.dir, name)
+		if fi, err := os.Stat(path); err == nil {
+			res.BytesBefore += fi.Size()
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			continue // unreadable: removed below with everything else
+		}
+		var segEntries []querycache.PortableEntry
+		key, records, corrupt, rerr := readSegment(f, "", func(pe querycache.PortableEntry) {
+			segEntries = append(segEntries, pe)
+		})
+		if cerr := f.Close(); cerr != nil && rerr == nil {
+			rerr = cerr
+		}
+		if rerr != nil {
+			continue // whole segment unreadable: its records are lost anyway
+		}
+		res.EntriesBefore += records
+		res.DroppedCorrupt += corrupt
+		if _, ok := byKey[key]; !ok {
+			keys = append(keys, key)
+			byKey[key] = nil
+		}
+		for _, pe := range segEntries {
+			sk := key + "\x00" + pe.Key
+			if _, dup := seen[sk]; dup {
+				res.DroppedDuplicates++
+				continue
+			}
+			seen[sk] = struct{}{}
+			byKey[key] = append(byKey[key], pe)
+		}
+	}
+	sort.Strings(keys)
+
+	// Pass 2: publish one compacted segment per key, then remove everything
+	// that isn't one of the new segments (old segments, temp leftovers).
+	// persistLocked skips the flock — we already hold it.
+	keep := make(map[string]struct{})
+	for _, key := range keys {
+		es := byKey[key]
+		if len(es) == 0 {
+			continue
+		}
+		sort.Slice(es, func(i, j int) bool { return es[i].Key < es[j].Key })
+		name, err := s.persistLocked(key, es)
+		if err != nil {
+			return res, err
+		}
+		keep[name] = struct{}{}
+		res.EntriesAfter += len(es)
+	}
+	for _, name := range segs {
+		if _, ok := keep[name]; ok {
+			continue
+		}
+		if err := os.Remove(filepath.Join(s.dir, name)); err != nil && !os.IsNotExist(err) {
+			return res, fmt.Errorf("qstore: gc: %w", err)
+		}
+	}
+	des, err := os.ReadDir(s.dir)
+	if err == nil {
+		for _, de := range des {
+			if strings.HasPrefix(de.Name(), "tmp-seg-") {
+				if err := os.Remove(filepath.Join(s.dir, de.Name())); err != nil && !os.IsNotExist(err) {
+					return res, fmt.Errorf("qstore: gc: %w", err)
+				}
+			}
+		}
+	}
+	res.SegmentsAfter = len(keep)
+	for name := range keep {
+		if fi, err := os.Stat(filepath.Join(s.dir, name)); err == nil {
+			res.BytesAfter += fi.Size()
+		}
+	}
+	return res, nil
+}
+
+// DistilledVector is one selected witness of the regression corpus: a
+// concrete input assignment and how many previously uncovered constraint
+// sets it added when the greedy cover selected it.
+type DistilledVector struct {
+	Inputs map[string]uint64
+	Covers int
+}
+
+// ReplayArgs renders the vector as symv replay arguments (name=0xVALUE,
+// sorted by name).
+func (v DistilledVector) ReplayArgs() string {
+	names := make([]string, 0, len(v.Inputs))
+	for n := range v.Inputs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, n := range names {
+		parts[i] = fmt.Sprintf("%s=0x%x", n, v.Inputs[n])
+	}
+	return strings.Join(parts, " ")
+}
+
+// DistillResult is one version key's distilled corpus.
+type DistillResult struct {
+	Key       string
+	Witnesses int // sat entries considered
+	Universe  int // distinct satisfiable constraint-set fingerprints
+	Vectors   []DistilledVector
+}
+
+// Distill reduces each version key's witnesses to a minimal regression
+// corpus: the smallest greedy set of sat models such that every constraint
+// set the campaign proved satisfiable is witnessed by at least one selected
+// model. Selection is a deterministic greedy set cover over entry
+// fingerprints — largest uncovered contribution first, ties broken by entry
+// key — so the corpus is a pure function of the store contents. When
+// onlyKey is non-empty, other version keys are skipped.
+func (s *Store) Distill(onlyKey string) ([]DistillResult, error) {
+	segs, err := s.segments()
+	if err != nil {
+		return nil, err
+	}
+	type witness struct {
+		entryKey string
+		hashes   []uint64
+		model    querycache.Model
+	}
+	byKey := make(map[string][]witness)
+	seen := make(map[string]struct{})
+	keys := []string{}
+	for _, name := range segs {
+		f, err := os.Open(filepath.Join(s.dir, name))
+		if err != nil {
+			continue
+		}
+		var segWitnesses []witness
+		key, _, _, rerr := readSegment(f, onlyKey, func(pe querycache.PortableEntry) {
+			if !pe.Sat {
+				return
+			}
+			segWitnesses = append(segWitnesses, witness{entryKey: pe.Key, hashes: pe.Hashes, model: pe.Model})
+		})
+		if cerr := f.Close(); cerr != nil && rerr == nil {
+			rerr = cerr
+		}
+		if rerr != nil || (onlyKey != "" && key != onlyKey) {
+			continue
+		}
+		if _, ok := byKey[key]; !ok && len(segWitnesses) > 0 {
+			keys = append(keys, key)
+		}
+		for _, w := range segWitnesses {
+			if _, dup := seen[key+"\x00"+w.entryKey]; dup {
+				continue
+			}
+			seen[key+"\x00"+w.entryKey] = struct{}{}
+			byKey[key] = append(byKey[key], w)
+		}
+	}
+	sort.Strings(keys)
+
+	var out []DistillResult
+	for _, key := range keys {
+		ws := byKey[key]
+		sort.Slice(ws, func(i, j int) bool { return ws[i].entryKey < ws[j].entryKey })
+		res := DistillResult{Key: key, Witnesses: len(ws)}
+		uncovered := make(map[uint64]struct{})
+		for _, w := range ws {
+			for _, h := range w.hashes {
+				uncovered[h] = struct{}{}
+			}
+		}
+		res.Universe = len(uncovered)
+		remaining := append([]witness(nil), ws...)
+		for len(uncovered) > 0 && len(remaining) > 0 {
+			best, bestGain := -1, 0
+			for i, w := range remaining {
+				gain := 0
+				for _, h := range w.hashes {
+					if _, ok := uncovered[h]; ok {
+						gain++
+					}
+				}
+				// Strict > keeps the earliest (smallest entry key) on ties:
+				// remaining stays sorted by entry key throughout.
+				if gain > bestGain {
+					best, bestGain = i, gain
+				}
+			}
+			if best < 0 {
+				break // every remaining witness is redundant
+			}
+			w := remaining[best]
+			for _, h := range w.hashes {
+				delete(uncovered, h)
+			}
+			remaining = append(remaining[:best], remaining[best+1:]...)
+			inputs := make(map[string]uint64, len(w.model))
+			for k, v := range w.model {
+				inputs[k] = v
+			}
+			res.Vectors = append(res.Vectors, DistilledVector{Inputs: inputs, Covers: bestGain})
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

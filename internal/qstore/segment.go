@@ -1,0 +1,219 @@
+package qstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"symriscv/internal/querycache"
+)
+
+// Segment layout. A segment is immutable once published: it is written to a
+// temp file and atomically renamed into place, and its name is derived from
+// its content hash, so a half-written or torn file can never carry a final
+// segment name unless the crash happened inside rename itself — which is
+// exactly what the per-record checksums and the truncation-tolerant reader
+// are for.
+//
+//	magic    8 bytes  "SYQS0001" (store format version 1)
+//	keyLen   uint32 BE
+//	key      keyLen bytes (the version key, a UTF-8 string)
+//	records, each:
+//	  recLen uint32 BE  (payload length)
+//	  crc    uint32 BE  (CRC-32/IEEE of the payload)
+//	  payload:
+//	    nHashes  uvarint
+//	    hashes   nHashes * 8 bytes BE, sorted ascending, deduplicated
+//	    flags    1 byte (bit 0: sat)
+//	    if sat:  nVars uvarint, then per variable (sorted by name):
+//	             nameLen uvarint, name bytes, value uvarint
+//
+// EOF terminates the record stream. A record that fails its CRC is skipped
+// (framing is intact, the reader advances to the next record); a record cut
+// short by truncation or with an implausible length ends the segment with
+// one skipped-record count, because framing cannot be trusted past it.
+const (
+	segMagic   = "SYQS0001"
+	segSuffix  = ".qseg"
+	maxKeyLen  = 1 << 16
+	maxRecLen  = 1 << 26
+	maxModelSz = 1 << 20
+)
+
+// appendRecord serialises one entry as a framed, checksummed record.
+func appendRecord(buf []byte, pe querycache.PortableEntry) []byte {
+	payload := make([]byte, 0, 16+8*len(pe.Hashes)+16*len(pe.Model))
+	payload = binary.AppendUvarint(payload, uint64(len(pe.Hashes)))
+	for _, h := range pe.Hashes {
+		payload = binary.BigEndian.AppendUint64(payload, h)
+	}
+	var flags byte
+	if pe.Sat {
+		flags |= 1
+	}
+	payload = append(payload, flags)
+	if pe.Sat {
+		names := make([]string, 0, len(pe.Model))
+		for name := range pe.Model {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		payload = binary.AppendUvarint(payload, uint64(len(names)))
+		for _, name := range names {
+			payload = binary.AppendUvarint(payload, uint64(len(name)))
+			payload = append(payload, name...)
+			payload = binary.AppendUvarint(payload, pe.Model[name])
+		}
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = binary.BigEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// encodeSegment serialises a whole segment (header plus records). Entries
+// are written in the caller's order; Snapshot order (sorted by entry key)
+// makes the bytes — and with them the content-derived segment name — a
+// deterministic function of the entry set.
+func encodeSegment(key string, es []querycache.PortableEntry) []byte {
+	buf := make([]byte, 0, len(segMagic)+4+len(key)+64*len(es))
+	buf = append(buf, segMagic...)
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	for _, pe := range es {
+		buf = appendRecord(buf, pe)
+	}
+	return buf
+}
+
+// decodeEntry parses one record payload. The returned entry's Key is filled
+// in, and the structural invariants (sorted deduplicated hashes, sat implies
+// model) are verified here so a checksum collision on garbage still cannot
+// smuggle a malformed entry into the cache.
+func decodeEntry(payload []byte) (querycache.PortableEntry, error) {
+	var pe querycache.PortableEntry
+	n, sz := binary.Uvarint(payload)
+	if sz <= 0 || n > uint64(len(payload)/8) {
+		return pe, fmt.Errorf("bad hash count")
+	}
+	payload = payload[sz:]
+	if uint64(len(payload)) < 8*n+1 {
+		return pe, fmt.Errorf("short hash block")
+	}
+	pe.Hashes = make([]uint64, n)
+	for i := range pe.Hashes {
+		pe.Hashes[i] = binary.BigEndian.Uint64(payload[8*i:])
+		if i > 0 && pe.Hashes[i] <= pe.Hashes[i-1] {
+			return pe, fmt.Errorf("hashes not strictly ascending")
+		}
+	}
+	payload = payload[8*n:]
+	flags := payload[0]
+	payload = payload[1:]
+	pe.Sat = flags&1 != 0
+	if pe.Sat {
+		nv, sz := binary.Uvarint(payload)
+		if sz <= 0 || nv > maxModelSz {
+			return pe, fmt.Errorf("bad model size")
+		}
+		payload = payload[sz:]
+		pe.Model = make(querycache.Model, nv)
+		for i := uint64(0); i < nv; i++ {
+			nl, sz := binary.Uvarint(payload)
+			if sz <= 0 || nl > uint64(len(payload[sz:])) {
+				return pe, fmt.Errorf("bad name length")
+			}
+			payload = payload[sz:]
+			name := string(payload[:nl])
+			payload = payload[nl:]
+			v, sz := binary.Uvarint(payload)
+			if sz <= 0 {
+				return pe, fmt.Errorf("bad value")
+			}
+			payload = payload[sz:]
+			pe.Model[name] = v
+		}
+	}
+	if len(payload) != 0 {
+		return pe, fmt.Errorf("%d trailing bytes", len(payload))
+	}
+	pe.Key = querycache.KeyOf(pe.Hashes)
+	return pe, nil
+}
+
+// segmentHeader reads and validates the magic and version key.
+func segmentHeader(r *bufio.Reader) (key string, err error) {
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(r, magic); err != nil {
+		return "", fmt.Errorf("short magic: %w", err)
+	}
+	if string(magic) != segMagic {
+		return "", fmt.Errorf("bad magic %q", magic)
+	}
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+		return "", fmt.Errorf("short key length: %w", err)
+	}
+	keyLen := binary.BigEndian.Uint32(lenBuf[:])
+	if keyLen > maxKeyLen {
+		return "", fmt.Errorf("implausible key length %d", keyLen)
+	}
+	kb := make([]byte, keyLen)
+	if _, err := io.ReadFull(r, kb); err != nil {
+		return "", fmt.Errorf("short key: %w", err)
+	}
+	return string(kb), nil
+}
+
+// readSegment decodes every intact record of one segment stream, counting
+// rather than failing on damage. When wantKey is non-empty and the header's
+// version key differs, the records are not decoded at all (entries written
+// under an incompatible configuration never reach the cache). The onEntry
+// callback receives each valid entry; corruptRecords counts CRC failures,
+// undecodable payloads and the final truncated record when the stream ends
+// mid-frame.
+func readSegment(r io.Reader, wantKey string, onEntry func(querycache.PortableEntry)) (key string, records, corruptRecords int, err error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	key, err = segmentHeader(br)
+	if err != nil {
+		return "", 0, 0, err
+	}
+	if wantKey != "" && key != wantKey {
+		return key, 0, 0, nil
+	}
+	var frame [8]byte
+	for {
+		_, ferr := io.ReadFull(br, frame[:])
+		if ferr == io.EOF {
+			return key, records, corruptRecords, nil // clean end
+		}
+		if ferr != nil {
+			return key, records, corruptRecords + 1, nil // torn frame: truncated write
+		}
+		recLen := binary.BigEndian.Uint32(frame[:4])
+		crc := binary.BigEndian.Uint32(frame[4:])
+		if recLen == 0 || recLen > maxRecLen {
+			// Framing cannot be trusted past a garbage length.
+			return key, records, corruptRecords + 1, nil
+		}
+		payload := make([]byte, recLen)
+		if _, perr := io.ReadFull(br, payload); perr != nil {
+			return key, records, corruptRecords + 1, nil // truncated mid-record
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			corruptRecords++ // damaged in place; framing is still good
+			continue
+		}
+		pe, derr := decodeEntry(payload)
+		if derr != nil {
+			corruptRecords++
+			continue
+		}
+		records++
+		if onEntry != nil {
+			onEntry(pe)
+		}
+	}
+}

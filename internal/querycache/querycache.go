@@ -48,6 +48,15 @@ import (
 	"symriscv/internal/solver"
 )
 
+// SchemaVersion identifies the semantics of cache entries — what a
+// fingerprint hashes, and the restricted-and-total model invariant sat
+// entries carry. Any change to either MUST bump it: the persistent store
+// (internal/qstore) folds it into every segment's version key, which is how
+// entries written under old semantics are prevented from answering queries
+// under new ones. Version 2 is the post-review contract: models restricted
+// to — and total over — their slice's support, with explicit zeros.
+const SchemaVersion = 2
+
 // Model is a concrete variable assignment by name. Variables absent from the
 // map read as zero, matching the solver's treatment of unconstrained
 // variables, so a Model is a total assignment and evaluation under it never
@@ -79,6 +88,11 @@ type Stats struct {
 	ModelQueries  uint64 // model-bearing pass-through queries
 	SlicedQueries uint64 // CDCL queries shrunk by independence slicing
 	SlicedDropped uint64 // independent constraints dropped from CDCL queries
+	// StoreHits counts the eliminated queries whose answering entry was
+	// loaded from the persistent cross-campaign store (internal/qstore)
+	// rather than created during this run. Always <= Eliminated(); purely
+	// telemetry, like every counter that depends on cache state.
+	StoreHits uint64
 }
 
 // Eliminated returns the number of feasibility queries answered without the
@@ -100,6 +114,7 @@ func (s *Stats) Add(o Stats) {
 	s.ModelQueries += o.ModelQueries
 	s.SlicedQueries += o.SlicedQueries
 	s.SlicedDropped += o.SlicedDropped
+	s.StoreHits += o.StoreHits
 }
 
 // entry is one cached feasibility answer. The key is the canonical
@@ -117,6 +132,7 @@ type entry struct {
 	bloom uint64 // OR of 1<<(h&63) over hs; quick subset rejection
 	sat   bool
 	model Model
+	store bool // loaded from the persistent store, not created this run
 }
 
 // sharedLimit bounds the cross-worker store (entries, not bytes).
@@ -169,6 +185,96 @@ func (s *Shared) Len() int {
 	n := len(s.m)
 	s.mu.RUnlock()
 	return n
+}
+
+// PortableEntry is the context-free, serialisable view of one cache entry:
+// the sorted, deduplicated structural-hash fingerprint of the constraint
+// set, the answer, and (sat entries only) the witnessing model restricted
+// to — and total over — the set's support variables. It carries everything
+// internal/qstore needs to persist an answer and everything Import needs to
+// reconstruct it in another process.
+type PortableEntry struct {
+	Key    string // canonical key; always KeyOf(Hashes)
+	Hashes []uint64
+	Sat    bool
+	Model  Model // nil for unsat entries
+}
+
+// KeyOf returns the canonical map key of a sorted, deduplicated hash set:
+// each hash serialised big-endian, concatenated. It is the exported twin of
+// Local.fingerprint's key construction.
+func KeyOf(hs []uint64) string {
+	buf := make([]byte, 8*len(hs))
+	for i, h := range hs {
+		binary.BigEndian.PutUint64(buf[i*8:], h)
+	}
+	return string(buf)
+}
+
+// Snapshot returns a portable copy of every stored entry, sorted by key so
+// the output is deterministic for a given entry set. The hash slices and
+// models alias the immutable entries and must be treated as read-only.
+func (s *Shared) Snapshot() []PortableEntry {
+	s.mu.RLock()
+	keys := make([]string, len(s.m))
+	i := 0
+	for k := range s.m {
+		keys[i] = k
+		i++
+	}
+	sort.Strings(keys)
+	out := make([]PortableEntry, 0, len(keys))
+	for _, k := range keys {
+		e := s.m[k]
+		out = append(out, PortableEntry{Key: k, Hashes: e.hs, Sat: e.sat, Model: e.model})
+	}
+	s.mu.RUnlock()
+	return out
+}
+
+// Import publishes externally loaded entries (the persistent store's load
+// path), marking them store-originated so cache hits they answer can be
+// attributed. Malformed entries (unsorted or duplicated hashes, empty sets,
+// sat entries without a model) are rejected rather than trusted — the store
+// layer's checksums catch corruption, this catches schema drift. First
+// writer wins, as with put. Returns the number of entries accepted.
+func (s *Shared) Import(es []PortableEntry) int {
+	n := 0
+	s.mu.Lock()
+	for _, pe := range es {
+		if !validPortable(pe) {
+			continue
+		}
+		if len(s.m) >= sharedLimit {
+			break
+		}
+		key := KeyOf(pe.Hashes)
+		if _, ok := s.m[key]; ok {
+			continue
+		}
+		hs := make([]uint64, len(pe.Hashes))
+		copy(hs, pe.Hashes)
+		s.m[key] = &entry{key: key, hs: hs, bloom: bloomOf(hs), sat: pe.Sat, model: pe.Model, store: true}
+		n++
+	}
+	s.mu.Unlock()
+	return n
+}
+
+// validPortable checks the structural invariants Import relies on.
+func validPortable(pe PortableEntry) bool {
+	if len(pe.Hashes) == 0 {
+		return false
+	}
+	for i := 1; i < len(pe.Hashes); i++ {
+		if pe.Hashes[i] <= pe.Hashes[i-1] {
+			return false
+		}
+	}
+	if pe.Sat && pe.Model == nil {
+		return false
+	}
+	return true
 }
 
 // stackModel is one satisfying assignment of the current path's constraint
@@ -399,13 +505,19 @@ func (l *Local) check(pcs []*smt.Term, query *smt.Term, push bool) (solver.Resul
 	key, hs := l.fingerprint(slice)
 	if e := l.lookup(key); e != nil {
 		l.stats.ExactHits++
+		if e.store {
+			l.stats.StoreHits++
+		}
 		return l.hitResult(e, dropped, push)
 	}
 
 	// Stage 4: superset-of-unsat. Any known-unsat subset proves this set
 	// unsat.
-	if l.supersetUnsat(hs) {
+	if e := l.supersetUnsat(hs); e != nil {
 		l.stats.SupersetUnsat++
+		if e.store {
+			l.stats.StoreHits++
+		}
 		return solver.Unsat, nil, false
 	}
 
@@ -422,6 +534,9 @@ func (l *Local) check(pcs []*smt.Term, query *smt.Term, push bool) (solver.Resul
 		}
 		if modelSatisfies(l.recentEv[i], slice) {
 			l.stats.SubsetSat++
+			if e.store {
+				l.stats.StoreHits++
+			}
 			// The validation read zero for every slice variable absent from
 			// e.model; restrict the model to the slice's support with those
 			// zeros made explicit, so the recorded witness is exactly the
@@ -621,20 +736,21 @@ func bloomOf(hs []uint64) uint64 {
 	return b
 }
 
-// supersetUnsat reports whether the sorted hash set hs has a known-unsat
-// subset. Candidates are the local unsat entries whose smallest hash occurs
-// in hs (a necessary condition for subset-hood); the bloom signature and the
-// size comparison reject almost all of them before the element-wise scan.
-func (l *Local) supersetUnsat(hs []uint64) bool {
+// supersetUnsat returns a known-unsat subset entry of the sorted hash set
+// hs, or nil. Candidates are the local unsat entries whose smallest hash
+// occurs in hs (a necessary condition for subset-hood); the bloom signature
+// and the size comparison reject almost all of them before the element-wise
+// scan.
+func (l *Local) supersetUnsat(hs []uint64) *entry {
 	q := bloomOf(hs)
 	for _, h := range hs {
 		for _, e := range l.unsatByMin[h] {
 			if e.bloom&^q == 0 && len(e.hs) <= len(hs) && isSubset(e.hs, hs) {
-				return true
+				return e
 			}
 		}
 	}
-	return false
+	return nil
 }
 
 // isSubset reports whether sorted slice sub is a subset of sorted slice sup.

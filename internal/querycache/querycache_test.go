@@ -361,3 +361,158 @@ func TestSiblingModelNotPushed(t *testing.T) {
 		t.Fatalf("stack depth = %d after sibling check, want 0", len(l.stack))
 	}
 }
+
+// TestModelLookupZeroDefault pins the documented total-assignment contract
+// of Model.Lookup: a name absent from the map reads as zero with ok=true,
+// never (0, false). Subset-sat model revalidation (stage 5) and
+// mergeWithStack's validated-zero bookkeeping both rely on evaluation under
+// a Model being total; a future "missing name returns false" change would
+// silently break them, so the contract is a regression test, not just a
+// doc comment.
+func TestModelLookupZeroDefault(t *testing.T) {
+	m := Model{"present": 7}
+	if v, ok := m.Lookup("present", 32); v != 7 || !ok {
+		t.Fatalf("Lookup(present) = (%d, %v), want (7, true)", v, ok)
+	}
+	if v, ok := m.Lookup("absent", 32); v != 0 || !ok {
+		t.Fatalf("Lookup(absent) = (%d, %v), want (0, true) — the zero default is load-bearing", v, ok)
+	}
+	var nilModel Model
+	if v, ok := nilModel.Lookup("anything", 8); v != 0 || !ok {
+		t.Fatalf("nil Model Lookup = (%d, %v), want (0, true)", v, ok)
+	}
+}
+
+// TestSnapshotImportRoundtrip: entries published by one worker, snapshotted,
+// and imported into a fresh Shared answer the same queries, and the hits are
+// attributed to the store.
+func TestSnapshotImportRoundtrip(t *testing.T) {
+	shared := NewShared()
+	l, ctx, _ := newLocal(t, shared)
+	a := ctx.Var("a", 8)
+	l.BeginPath(nil)
+	sat := ctx.Ult(a, ctx.BV(8, 10))
+	unsat := ctx.Ult(ctx.BV(8, 200), ctx.BV(8, 100))
+	if res := l.CheckFeasible(nil, sat); res != solver.Sat {
+		t.Fatalf("sat probe = %v", res)
+	}
+	if res := l.CheckFeasible(nil, unsat); res != solver.Unsat {
+		t.Fatalf("unsat probe = %v", res)
+	}
+	l.Flush()
+
+	snap := shared.Snapshot()
+	if len(snap) != 2 {
+		t.Fatalf("snapshot has %d entries, want 2", len(snap))
+	}
+	for i, pe := range snap {
+		if pe.Key != KeyOf(pe.Hashes) {
+			t.Fatalf("entry %d: Key != KeyOf(Hashes)", i)
+		}
+		if i > 0 && snap[i-1].Key >= pe.Key {
+			t.Fatalf("snapshot not sorted by key")
+		}
+		if pe.Sat && pe.Model == nil {
+			t.Fatalf("entry %d: sat entry without model", i)
+		}
+	}
+
+	warm := NewShared()
+	if n := warm.Import(snap); n != 2 {
+		t.Fatalf("Import = %d, want 2", n)
+	}
+	if n := warm.Import(snap); n != 0 {
+		t.Fatalf("re-Import = %d, want 0 (first writer wins)", n)
+	}
+
+	// A fresh context rebuilds structurally identical terms, so the imported
+	// entries must answer the same queries without the solver.
+	l2, ctx2, sol2 := newLocal(t, warm)
+	a2 := ctx2.Var("a", 8)
+	l2.BeginPath(nil)
+	sat2 := ctx2.Ult(a2, ctx2.BV(8, 10))
+	unsat2 := ctx2.Ult(ctx2.BV(8, 200), ctx2.BV(8, 100))
+	if res := l2.CheckFeasible(nil, sat2); res != solver.Sat {
+		t.Fatalf("warm sat probe = %v", res)
+	}
+	if res := l2.CheckFeasible(nil, unsat2); res != solver.Unsat {
+		t.Fatalf("warm unsat probe = %v", res)
+	}
+	st := l2.Stats()
+	if st.ExactHits != 2 || st.StoreHits != 2 {
+		t.Fatalf("stats = %+v, want 2 exact hits attributed to the store", st)
+	}
+	if got := sol2.Stats().Checks; got != 0 {
+		t.Fatalf("warm probes reached the solver %d times, want 0", got)
+	}
+}
+
+// TestImportRejectsMalformed: schema-drifted entries are dropped, not
+// trusted.
+func TestImportRejectsMalformed(t *testing.T) {
+	s := NewShared()
+	bad := []PortableEntry{
+		{Hashes: nil, Sat: false},                       // empty set
+		{Hashes: []uint64{3, 2}, Sat: false},            // unsorted
+		{Hashes: []uint64{2, 2}, Sat: false},            // duplicated
+		{Hashes: []uint64{1, 2}, Sat: true, Model: nil}, // sat without model
+	}
+	if n := s.Import(bad); n != 0 {
+		t.Fatalf("Import accepted %d malformed entries", n)
+	}
+	good := []PortableEntry{{Hashes: []uint64{1, 2}, Sat: true, Model: Model{"x": 1}}}
+	if n := s.Import(good); n != 1 {
+		t.Fatalf("Import rejected a valid entry")
+	}
+}
+
+// TestSharedConcurrentAccess hammers the Shared store from three sides at
+// once — worker-style get/put batches, store-load-style Import, and
+// persist-style Snapshot — mirroring what happens when parexplore hand-off
+// flushes race a qstore session checkpoint. Run under -race in CI.
+func TestSharedConcurrentAccess(t *testing.T) {
+	s := NewShared()
+	const workers = 4
+	const rounds = 200
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < rounds; i++ {
+				h := uint64(w*rounds + i + 1)
+				key := KeyOf([]uint64{h})
+				batch := []*entry{{key: key, hs: []uint64{h}, bloom: bloomOf([]uint64{h}), sat: false}}
+				s.put(batch)
+				if e := s.get(key); e == nil {
+					t.Errorf("worker %d: just-put entry %d missing", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	go func() {
+		defer func() { done <- struct{}{} }()
+		for i := 0; i < rounds; i++ {
+			h := uint64(1<<32) + uint64(i)
+			s.Import([]PortableEntry{{Hashes: []uint64{h}, Sat: true, Model: Model{"v": uint64(i)}}})
+		}
+	}()
+	go func() {
+		defer func() { done <- struct{}{} }()
+		for i := 0; i < rounds/4; i++ {
+			snap := s.Snapshot()
+			for j := 1; j < len(snap); j++ {
+				if snap[j-1].Key >= snap[j].Key {
+					t.Errorf("snapshot %d unsorted", i)
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < workers+2; i++ {
+		<-done
+	}
+	if s.Len() == 0 {
+		t.Fatal("store empty after concurrent traffic")
+	}
+}
