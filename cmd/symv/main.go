@@ -25,14 +25,17 @@
 //	-cache on|off  query-elimination layer (stack models, independence
 //	               slicing, feasibility caching)
 //	-rewrite on|off extended term rewrites ahead of bit-blasting
+//	-fork on|off   fork-point state checkpointing (siblings resume from a
+//	               snapshot instead of replaying the decision prefix)
 //	-json          emit machine-readable JSON instead of the table
 //	-trace FILE    write a JSONL span/counter trace (inspect with symv trace)
 //	-metrics       print the aggregated per-phase table to stderr afterwards
 //
-// -cache=off and -rewrite=off are ablation switches — reports are identical
-// on and off by construction, only the solver work changes (see
-// internal/querycache). -trace and -metrics are side channels: they never
-// change a report either (see internal/obs).
+// -cache=off, -rewrite=off and -fork=off are ablation switches — reports are
+// identical on and off by construction, only the solver and replay work
+// changes (see internal/querycache, internal/core/snapshot.go). -trace and
+// -metrics are side channels: they never change a report either (see
+// internal/obs).
 package main
 
 import (
@@ -163,8 +166,8 @@ commands:
   lint-dut    static semantic lint of a core's symbolic transition relation
 
 shared flags (every exploration command):
-  -workers N  -cache on|off  -rewrite on|off  -store DIR  -json
-  -trace FILE  -metrics`)
+  -workers N  -cache on|off  -rewrite on|off  -fork on|off  -store DIR
+  -json  -trace FILE  -metrics`)
 }
 
 // sharedFlags is the flag group every exploration subcommand registers: the
@@ -176,6 +179,7 @@ type sharedFlags struct {
 	rewrite   *string
 	inprocess *string
 	portfolio *string
+	fork      *string
 	store     *string
 	jsonOut   *bool
 	trace     *string
@@ -191,6 +195,7 @@ func sharedGroup(fs *flag.FlagSet) *sharedFlags {
 		rewrite:   fs.String("rewrite", "on", "extended term rewrites ahead of bit-blasting: on | off"),
 		inprocess: fs.String("inprocess", "on", "SAT-core inprocessing (subsumption, strengthening, variable elimination): on | off"),
 		portfolio: fs.String("portfolio", "off", "diverse deterministic SAT heuristics per worker at -workers >= 2: on | off"),
+		fork:      fs.String("fork", "on", "fork-point state checkpointing (siblings resume from snapshots instead of replaying the prefix): on | off"),
 		store: fs.String("store", "",
 			"persistent witness store directory: load compatible cache entries at startup, persist new ones at exploration boundaries (inspect with symv cache)"),
 		jsonOut: fs.Bool("json", false, "emit machine-readable JSON instead of the table"),
@@ -223,6 +228,9 @@ func (g *sharedFlags) build(cmd string, stderr io.Writer, keyParts ...string) (h
 	}
 	if c.Portfolio, ok = harness.ParseToggle(*g.portfolio); !ok {
 		return c, nil, badUsage(stderr, "bad -portfolio=%q (want on or off)", *g.portfolio)
+	}
+	if c.Fork, ok = harness.ParseToggle(*g.fork); !ok {
+		return c, nil, badUsage(stderr, "bad -fork=%q (want on or off)", *g.fork)
 	}
 	for _, w := range c.Warnings() {
 		fmt.Fprintln(stderr, "symv: warning:", w)
@@ -495,6 +503,7 @@ func cmdLongRun(args []string, stderr io.Writer) error {
 	budget := fs.Duration("budget", 30*time.Second, "exploration budget (0 = unbounded: run until the path tree is exhausted)")
 	limit := fs.Int("limit", 1, "instruction limit")
 	regs := fs.Int("regs", 2, "symbolic register slice size")
+	maxPaths := fs.Int("max-paths", 0, "path budget (0 = unbounded)")
 	coverage := fs.Bool("coverage", false, "print test-set instruction coverage")
 	shared := sharedGroup(fs)
 	if err := parseFlags(fs, args); err != nil {
@@ -507,6 +516,7 @@ func cmdLongRun(args []string, stderr io.Writer) error {
 		return err
 	}
 	common.Budget = *budget
+	common.MaxPaths = *maxPaths
 	res := harness.LongRun(harness.LongRunOptions{Common: common, InstrLimit: *limit, NumRegs: *regs})
 	if *shared.jsonOut {
 		doc := struct {
@@ -730,6 +740,7 @@ func cmdBench(args []string, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	budget := fs.Duration("budget", 10*time.Second, "throughput budget per worker count")
 	huntTime := fs.Duration("hunt-time", 30*time.Second, "time-to-bug budget per fault")
+	instrLimit := fs.Int("instr-limit", 1, "instruction limit for the throughput workload")
 	faultsArg := fs.String("faults", "", "comma-separated time-to-bug faults (default E1,E5,E6)")
 	jsonPath := fs.String("json-file", "", "also write the machine-readable report to this file")
 	quick := fs.Bool("quick", false, "CI smoke mode: 2s budgets, one fault")
@@ -762,6 +773,7 @@ func cmdBench(args []string, stderr io.Writer) error {
 	opt := harness.BenchOptions{
 		Common:        common,
 		HuntTime:      *huntTime,
+		InstrLimit:    *instrLimit,
 		CacheAblation: *ablate,
 	}
 	if *faultsArg != "" {

@@ -117,6 +117,11 @@ type Options struct {
 	// deterministic heuristic parameters (sat.PortfolioOptions). Only
 	// meaningful at workers >= 2; ignored by the sequential explorer.
 	Portfolio bool
+	// NoFork disables fork-point state checkpointing: every scheduled path
+	// replays from the start instead of resuming from its divergence-point
+	// snapshot. Ablation mode (symv -fork=off); reports are byte-identical
+	// either way (fork-resume ≡ replay, see snapshot.go).
+	NoFork bool
 	// Obs, when non-nil, receives spans and counters for this exploration.
 	// Observability is side-channel only: it never influences exploration
 	// decisions, so reports are byte-identical with and without it.
@@ -161,6 +166,14 @@ type Stats struct {
 	// restarts, learnt/deleted clauses, inprocessing tallies), summed over
 	// all workers' solvers.
 	SAT sat.Stats
+	// ForkSnapshots counts quiescent-point state captures (fork-point
+	// checkpointing); ForkResumes counts scheduled paths that resumed from a
+	// checkpoint instead of replaying; ReplayEventsSaved counts the prefix
+	// events those resumes did not re-execute. Scheduling-dependent (worker
+	// hand-offs drop checkpoints), hence telemetry.
+	ForkSnapshots     uint64
+	ForkResumes       uint64
+	ReplayEventsSaved uint64
 }
 
 // Finding is a path that ended in an error (for the co-simulation: a voter
@@ -266,10 +279,21 @@ func (x *Explorer) Explore(opts Options) *Report {
 
 		sp := h.Start(obs.PhasePath)
 		sp.SetPath(pathID)
-		eng := newEngine(x.ctx, x.sol, wk.materialize(n), &rep.Stats, x.qc)
+		run := x.run
+		var eng *Engine
+		if resumable(n, opts.NoFork, x.qc, opts.SolverConflictBudget) {
+			eng = newResumedEngine(x.ctx, x.sol, n.fork, &rep.Stats, x.qc)
+			run = n.fork.cp.resume
+			rep.Stats.ForkResumes++
+			rep.Stats.ReplayEventsSaved += uint64(n.depth - len(n.fork.tail))
+		} else {
+			eng = newEngine(x.ctx, x.sol, wk.materialize(n), &rep.Stats, x.qc)
+		}
+		eng.forks = !opts.NoFork
 		eng.noOpt = opts.NoBranchOptimizations
 		eng.h = h
-		err, abort := runOne(x.run, eng)
+		err, abort := runOne(run, eng)
+		rep.Stats.ForkSnapshots += eng.snaps
 
 		rep.Stats.Instructions += eng.instrRetired
 		rep.Stats.Cycles += eng.cycles

@@ -1,0 +1,187 @@
+// Fork-point state checkpointing: the mechanism that lets a scheduled
+// sibling path resume from its divergence point instead of replaying the
+// whole program from cycle 0.
+//
+// The replay-based execution model (see package comment) costs
+// O(paths × depth) symbolic re-execution: every path re-runs the program
+// from the start. Siblings share their entire prefix with the run that
+// scheduled them, so that work is pure redundancy. A Go program cannot be
+// resumed mid-stack, so the program instead declares quiescent points (the
+// top of the co-simulation's cycle loop) by calling Engine.Checkpoint with a
+// capture closure. The engine snapshots its own cheap state (hash-consed
+// *smt.Term pointers make the constraint and symbolic-input vectors free to
+// share; program memories use internal/cow layers inside the capture
+// closure) and attaches the latest checkpoint to every fresh fork event.
+// When the explorer later schedules that event's sibling, it restores the
+// checkpoint and replays only the short intra-cycle event tail — the events
+// between the checkpoint and the fork, with the final branch flipped.
+//
+// The walker's portable decision-prefix representation stays canonical:
+// checkpoints are an in-memory acceleration attached to frontier nodes and
+// are dropped (falling back to full replay) whenever a prefix crosses a
+// worker hand-off, is imported from qstore/another context, or resume
+// preconditions fail. Equivalence of the two execution modes is pinned by
+// TestForkReplayEquivalence and the CI fork smoke.
+package core
+
+import (
+	"symriscv/internal/querycache"
+	"symriscv/internal/smt"
+	"symriscv/internal/solver"
+)
+
+// ResumeFunc continues a checkpointed program execution under a fresh
+// engine, exactly as if the program had run from the start and reached the
+// checkpoint. It has the same contract as the run function handed to the
+// Explorer.
+type ResumeFunc = RunFunc
+
+// checkpoint is one quiescent-point snapshot of a running path: the
+// program-side restore closure plus the engine state needed to make the
+// resumed run indistinguishable from a full replay.
+type checkpoint struct {
+	resume ResumeFunc
+
+	// pcs/symbolic are capped slices sharing the parent's backing array up
+	// to the snapshot; appends by resumed runs reallocate, so any number of
+	// siblings can resume from one checkpoint.
+	pcs      []*smt.Term
+	symbolic []*smt.Term
+
+	eventIdx int // events seen when captured, in the capturing run's coordinates
+
+	// replayQ is the number of SolverQueries a full replay of the events up
+	// to this checkpoint would issue (non-constant Assumes re-check
+	// feasibility and witness queries re-execute on replay; branch and
+	// concretize replays are query-free). Resumed runs pre-credit it so the
+	// SolverQueries statistic stays byte-identical with replay.
+	replayQ uint64
+
+	instr  uint64
+	cycles uint64
+}
+
+// forkPoint rides on a fresh branch event whose sibling can be resumed. tail
+// holds the events from the checkpoint to the fork with the final branch
+// flipped — the only part of the sibling's path that still replays.
+type forkPoint struct {
+	cp   *checkpoint
+	tail []event
+}
+
+// Checkpoint declares the current program position as a quiescent point the
+// engine may later resume siblings from. The program calls it where its
+// state is self-contained (the top of the co-simulation's cycle loop);
+// capture must freeze the program state and return a closure rebuilding an
+// equivalent execution bound to a fresh engine. capture is only invoked when
+// fork checkpointing is enabled, so programs call Checkpoint unconditionally
+// and pay nothing under -fork off.
+func (e *Engine) Checkpoint(capture func() ResumeFunc) {
+	if !e.forks {
+		return
+	}
+	// The current checkpoint stays valid until a decision event lands after
+	// it: a resumed sibling deterministically re-runs any event-free cycles,
+	// so quiet cycles never pay the capture cost.
+	if e.cp != nil && e.cp.eventIdx == e.n {
+		return
+	}
+	e.cp = &checkpoint{
+		resume:   capture(),
+		pcs:      e.pcs[:len(e.pcs):len(e.pcs)],
+		symbolic: e.symbolic[:len(e.symbolic):len(e.symbolic)],
+		eventIdx: e.n,
+		replayQ:  e.replayQ,
+		instr:    e.instrRetired,
+		cycles:   e.cycles,
+	}
+	e.snaps++
+}
+
+// eventAt returns the i-th event this run has seen, replayed or fresh.
+func (e *Engine) eventAt(i int) event {
+	if i < len(e.prefix) {
+		return e.prefix[i]
+	}
+	return e.fresh[i-len(e.prefix)]
+}
+
+// forkFor builds the fork point for a fresh branch event about to be
+// recorded (ev is not yet appended; its sibling replays with dir flipped).
+// Returns nil when no checkpoint has been taken yet.
+func (e *Engine) forkFor(ev event) *forkPoint {
+	cp := e.cp
+	if cp == nil {
+		return nil
+	}
+	tail := make([]event, 0, e.n-cp.eventIdx+1)
+	for i := cp.eventIdx; i < e.n; i++ {
+		t := e.eventAt(i)
+		t.fork = nil // interior tail events never schedule
+		tail = append(tail, t)
+	}
+	ev.dir = !ev.dir
+	ev.fork = nil
+	tail = append(tail, ev)
+	return &forkPoint{cp: cp, tail: tail}
+}
+
+// resumable reports whether a scheduled node may resume from its fork point
+// instead of replaying. Resume requires:
+//   - a fork point (local nodes only — imported/handed-off prefixes replay);
+//   - fork checkpointing enabled;
+//   - no solver conflict budget: under a budget a replayed query could
+//     return Unknown and abort the path, an outcome resume would skip;
+//   - with the query cache enabled, a complete sibling seed model: the seed
+//     is what keeps a replay's cache stack byte-equivalent to the resumed
+//     reconstruction (see newResumedEngine).
+func resumable(n *node, noFork bool, qc *querycache.Local, conflictBudget uint64) bool {
+	if noFork || n.fork == nil || conflictBudget != 0 {
+		return false
+	}
+	if qc == nil {
+		return true
+	}
+	last := n.fork.tail[len(n.fork.tail)-1]
+	return last.sibVerified && last.sibModel != nil
+}
+
+// newResumedEngine builds the engine for a resumed sibling: the checkpoint's
+// engine state is restored, the fork tail becomes the replay prefix, and the
+// statistics a full replay would have accumulated before the checkpoint are
+// pre-credited. The query-cache path state is reconstructed exactly: a path
+// that reached the checkpoint had every pre-checkpoint feasibility check
+// stack-hit on its complete seed model and every witness query answer Unsat
+// (a Sat witness ends the path), so a replay's stack at the checkpoint is
+// precisely [seed] — which BeginPath plus trusted Observes rebuilds.
+func newResumedEngine(ctx *smt.Context, sol *solver.Solver, fork *forkPoint, stats *Stats, qc *querycache.Local) *Engine {
+	cp := fork.cp
+	e := &Engine{
+		ctx:          ctx,
+		sol:          sol,
+		prefix:       fork.tail,
+		pcs:          cp.pcs,
+		pcsSet:       make(map[*smt.Term]struct{}, len(cp.pcs)+16),
+		symbolic:     cp.symbolic,
+		instrRetired: cp.instr,
+		cycles:       cp.cycles,
+		replayQ:      cp.replayQ,
+		qc:           qc,
+		stats:        stats,
+	}
+	for _, t := range cp.pcs {
+		e.pcsSet[t] = struct{}{}
+	}
+	stats.SolverQueries += cp.replayQ
+	if qc != nil {
+		var seed querycache.Model
+		if n := len(fork.tail); n > 0 {
+			seed = fork.tail[n-1].sibModel
+		}
+		qc.BeginPath(seed)
+		for _, t := range cp.pcs {
+			qc.Observe(t, true)
+		}
+	}
+	return e
+}

@@ -106,32 +106,64 @@ func (c Config) WithDefaults() Config {
 // body handed to the explorer. A Mismatch is returned as the path error when
 // the voter finds one.
 func Run(eng *core.Engine, cfg Config) error {
-	cfg = cfg.WithDefaults()
+	return newRunState(eng, cfg.WithDefaults()).loop()
+}
+
+// runState owns one co-simulation path's mutable testbench state. Bundling
+// it in a struct (instead of Run's locals) is what makes the path
+// checkpointable: a fork-point capture freezes every field and a resumed
+// sibling rebuilds an equivalent runState bound to a fresh engine (see
+// snapshot.go in this package).
+type runState struct {
+	eng      *core.Engine
+	cfg      Config
+	imem     *SymbolicIMem
+	initPool *SharedInit
+	dmemRTL  *SymbolicDMem
+	dmemISS  *SymbolicDMem
+	dut      DUT
+	ref      *iss.ISS
+	voter    *Voter
+	irq      *IrqLine
+
+	ib      rtl.IBusResponse
+	db      rtl.DBusResponse
+	retired int
+	cycles  int
+
+	// captureFn, when non-nil, is handed to Engine.Checkpoint at the top of
+	// every cycle (precomputed once: a method value allocates). Nil when the
+	// DUT cannot snapshot or a per-cycle trace is being written (a resumed
+	// trace would silently omit the pre-checkpoint cycles).
+	captureFn func() core.ResumeFunc
+}
+
+func newRunState(eng *core.Engine, cfg Config) *runState {
 	ctx := eng.Context()
+	rs := &runState{eng: eng, cfg: cfg}
 
 	filter := cfg.Filter
 	if cfg.Pin != nil {
 		filter = Filters(pinFilter(cfg.Pin), filter)
 	}
-	imem := NewSymbolicIMem(eng, filter)
-	imem.concrete = cfg.ConcreteIMem
-	initPool := NewSharedInit(eng)
-	initPool.concrete = cfg.ConcreteMem
+	rs.imem = NewSymbolicIMem(eng, filter)
+	rs.imem.concrete = cfg.ConcreteIMem
+	rs.initPool = NewSharedInit(eng)
+	rs.initPool.concrete = cfg.ConcreteMem
 	if cfg.Pin != nil {
-		initPool.pin = cfg.Pin
+		rs.initPool.pin = cfg.Pin
 	}
-	dmemRTL := NewSymbolicDMem(ctx, initPool)
-	dmemISS := NewSymbolicDMem(ctx, initPool)
+	rs.dmemRTL = NewSymbolicDMem(ctx, rs.initPool)
+	rs.dmemISS = NewSymbolicDMem(ctx, rs.initPool)
 
-	var dut DUT
 	if cfg.NewDUT != nil {
-		dut = cfg.NewDUT(eng)
+		rs.dut = cfg.NewDUT(eng)
 	} else {
-		dut = microrv32.New(eng, cfg.Core)
+		rs.dut = microrv32.New(eng, cfg.Core)
 	}
-	ref := iss.New(eng, imem, dmemISS, cfg.ISS)
-	dut.SetPC(cfg.StartPC)
-	ref.SetPC(cfg.StartPC)
+	rs.ref = iss.New(eng, rs.imem, rs.dmemISS, cfg.ISS)
+	rs.dut.SetPC(cfg.StartPC)
+	rs.ref.SetPC(cfg.StartPC)
 
 	// Sliced symbolic registers: identical symbolic initial values on both
 	// sides, installed on x1..xN.
@@ -146,56 +178,71 @@ func Run(eng *core.Engine, cfg Config) error {
 				eng.Assume(ctx.Eq(v, ctx.BV(32, val)))
 			}
 		}
-		dut.SetReg(i, v)
-		ref.SetReg(i, v)
+		rs.dut.SetReg(i, v)
+		rs.ref.SetReg(i, v)
 	}
 
 	if cfg.SymbolicInterrupts {
-		line := &IrqLine{eng: eng, pin: cfg.Pin}
-		if aware, ok := dut.(IrqAware); ok {
-			aware.SetIrqSource(line)
+		rs.irq = &IrqLine{eng: eng, pin: cfg.Pin}
+		if aware, ok := rs.dut.(IrqAware); ok {
+			aware.SetIrqSource(rs.irq)
 		}
-		ref.SetIrqSource(line)
+		rs.ref.SetIrqSource(rs.irq)
 
 		mst := makePinned(eng, cfg.Pin, "csr_mstatus", 32)
 		mie := makePinned(eng, cfg.Pin, "csr_mie", 32)
-		if csrInit, ok := dut.(CSRInitializer); ok {
+		if csrInit, ok := rs.dut.(CSRInitializer); ok {
 			csrInit.SetCSR(riscv.CSRMStatus, mst)
 			csrInit.SetCSR(riscv.CSRMIe, mie)
 		}
-		ref.SetCSR(riscv.CSRMStatus, mst)
-		ref.SetCSR(riscv.CSRMIe, mie)
+		rs.ref.SetCSR(riscv.CSRMStatus, mst)
+		rs.ref.SetCSR(riscv.CSRMIe, mie)
 	}
 
-	voter := NewVoter(eng)
+	rs.voter = NewVoter(eng)
+	if _, ok := rs.dut.(DUTSnapshotter); ok && cfg.Trace == nil {
+		rs.captureFn = rs.capture
+	}
+	return rs
+}
+
+// loop clocks the core until the retired-instruction limit, servicing buses
+// and stepping the ISS at every retirement. It is entered both by fresh runs
+// (from cycle 0) and by resumed checkpoints (mid-path), so every iteration
+// must depend only on runState fields.
+func (rs *runState) loop() error {
+	eng, cfg := rs.eng, rs.cfg
 	h := eng.Obs()
 
-	var ib rtl.IBusResponse
-	var db rtl.DBusResponse
-	retired := 0
-	for cycles := 0; retired < cfg.InstrLimit; cycles++ {
-		if cycles >= cfg.CycleLimit {
+	for ; rs.retired < cfg.InstrLimit; rs.cycles++ {
+		if rs.cycles >= cfg.CycleLimit {
 			eng.AbortLimitReached(fmt.Sprintf("cycle limit %d reached", cfg.CycleLimit))
 		}
+		if rs.captureFn != nil {
+			// Quiescent point: no bus transaction or retirement is mid-flight
+			// at the top of a cycle, so the whole testbench state is capturable.
+			eng.Checkpoint(rs.captureFn)
+		}
+		cycles := rs.cycles
 		sp := h.Start(obs.PhaseRTLStep)
-		ibReq, dbReq := dut.Step(ib, db)
+		ibReq, dbReq := rs.dut.Step(rs.ib, rs.db)
 		sp.End()
 
 		// Service the buses; responses arrive at the next clock edge.
-		ib = rtl.IBusResponse{}
-		db = rtl.DBusResponse{}
+		rs.ib = rtl.IBusResponse{}
+		rs.db = rtl.DBusResponse{}
 		if ibReq.FetchEnable {
 			if !ibReq.Address.IsConst() {
 				panic("cosim: IBus address must be concrete on each path")
 			}
 			addr := uint32(ibReq.Address.ConstVal())
-			ib = rtl.IBusResponse{InstructionReady: true, Instruction: imem.Fetch(addr)}
+			rs.ib = rtl.IBusResponse{InstructionReady: true, Instruction: rs.imem.Fetch(addr)}
 			if cfg.Trace != nil {
 				fmt.Fprintf(cfg.Trace, "cycle %3d  ibus fetch  addr=0x%08x\n", cycles, addr)
 			}
 		}
 		if dbReq.Enable {
-			db = dmemRTL.ServeDBus(dbReq)
+			rs.db = rs.dmemRTL.ServeDBus(dbReq)
 			if cfg.Trace != nil {
 				dir := "load "
 				if dbReq.Write {
@@ -206,21 +253,21 @@ func Run(eng *core.Engine, cfg Config) error {
 			}
 		}
 
-		if ret := dut.Retirement(); ret.Valid {
+		if ret := rs.dut.Retirement(); ret.Valid {
 			if cfg.Trace != nil {
 				fmt.Fprintf(cfg.Trace, "cycle %3d  retire #%d  pc=%s insn=%s next=%s trap=%v\n",
 					cycles, ret.Order, termStr(ret.PCRData), termStr(ret.Insn), termStr(ret.PCWData), ret.Trap)
 			}
 			issSp := h.Start(obs.PhaseISSStep)
-			res := ref.Step()
+			res := rs.ref.Step()
 			issSp.End()
-			if m := voter.Compare(ret, res); m != nil {
+			if m := rs.voter.Compare(ret, res); m != nil {
 				if cfg.Trace != nil {
 					fmt.Fprintf(cfg.Trace, "cycle %3d  VOTER MISMATCH: %v\n", cycles, m)
 				}
 				return m
 			}
-			retired++
+			rs.retired++
 		}
 	}
 	return nil

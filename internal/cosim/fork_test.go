@@ -1,0 +1,162 @@
+package cosim
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"symriscv/internal/core"
+	"symriscv/internal/iss"
+	"symriscv/internal/pipecore"
+)
+
+// deterministic is the slice of a Stats that the report contract pins
+// independent of fork checkpointing, caching and scheduling.
+type deterministic struct {
+	Paths, Completed, Partial, Infeasible    int
+	Instructions, Cycles                     uint64
+	Branches, Concretizations, SolverQueries uint64
+}
+
+func detOf(s core.Stats) deterministic {
+	return deterministic{
+		Paths: s.Paths, Completed: s.Completed, Partial: s.Partial,
+		Infeasible: s.Infeasible, Instructions: s.Instructions,
+		Cycles: s.Cycles, Branches: s.Branches,
+		Concretizations: s.Concretizations, SolverQueries: s.SolverQueries,
+	}
+}
+
+// findingClass maps a finding error to its model-independent identity: the
+// mismatch kind for voter findings, the full text otherwise.
+func findingClass(t *testing.T, err error) string {
+	t.Helper()
+	var m *Mismatch
+	if errors.As(err, &m) {
+		return m.Kind.String()
+	}
+	return err.Error()
+}
+
+// requireSameReport compares the deterministic report surface of a fork-on
+// and a fork-off run of the same scenario: stats, findings (path index and
+// error text) and test-vector path indices must be byte-equivalent.
+func requireSameReport(t *testing.T, on, off *core.Report) {
+	t.Helper()
+	if d1, d2 := detOf(on.Stats), detOf(off.Stats); d1 != d2 {
+		t.Fatalf("deterministic stats differ:\n fork on:  %+v\n fork off: %+v", d1, d2)
+	}
+	if on.Exhausted != off.Exhausted {
+		t.Fatalf("exhausted differs: fork on %v, fork off %v", on.Exhausted, off.Exhausted)
+	}
+	if len(on.Findings) != len(off.Findings) {
+		t.Fatalf("finding counts differ: fork on %d, fork off %d", len(on.Findings), len(off.Findings))
+	}
+	// Witness values are any-model and excluded from the contract: fork
+	// changes which queries reach the SAT core, so the model-derived mismatch
+	// detail may differ. Path index and mismatch class are deterministic.
+	for i := range on.Findings {
+		f1, f2 := on.Findings[i], off.Findings[i]
+		if f1.Path != f2.Path || findingClass(t, f1.Err) != findingClass(t, f2.Err) {
+			t.Fatalf("finding %d differs:\n fork on:  path=%d %v\n fork off: path=%d %v",
+				i, f1.Path, f1.Err, f2.Path, f2.Err)
+		}
+	}
+	if len(on.TestVectors) != len(off.TestVectors) {
+		t.Fatalf("test-vector counts differ: fork on %d, fork off %d",
+			len(on.TestVectors), len(off.TestVectors))
+	}
+	for i := range on.TestVectors {
+		if on.TestVectors[i].Path != off.TestVectors[i].Path {
+			t.Fatalf("test vector %d path differs: fork on %d, fork off %d",
+				i, on.TestVectors[i].Path, off.TestVectors[i].Path)
+		}
+	}
+}
+
+// TestForkReplayEquivalence pins the central fork-checkpointing contract at
+// the co-simulation level: for representative scenarios (both DUTs, both
+// instruction limits, cache on and off, symbolic interrupts) the report is
+// byte-equivalent with checkpoint-resume and with full prefix replay, and
+// the fork-on leg actually resumes paths.
+func TestForkReplayEquivalence(t *testing.T) {
+	pipe := func() Config {
+		return Config{
+			ISS:    iss.FixedConfig(),
+			Filter: BlockSystemInstructions,
+			NewDUT: func(eng *core.Engine) DUT {
+				return pipecore.New(eng, pipecore.Config{})
+			},
+		}
+	}
+	cases := []struct {
+		name    string
+		cfg     func() Config
+		opts    core.Options
+		limit   int
+		noCache bool
+	}{
+		{name: "limit1", cfg: matchedConfig, limit: 1,
+			opts: core.Options{MaxPaths: 120}},
+		{name: "limit2", cfg: matchedConfig, limit: 2,
+			opts: core.Options{MaxPaths: 120}},
+		{name: "limit2-nocache", cfg: matchedConfig, limit: 2, noCache: true,
+			opts: core.Options{MaxPaths: 80}},
+		{name: "irq", cfg: func() Config {
+			cfg := matchedConfig()
+			cfg.SymbolicInterrupts = true
+			return cfg
+		}, limit: 1, opts: core.Options{MaxPaths: 80}},
+		{name: "pipecore", cfg: pipe, limit: 1,
+			opts: core.Options{MaxPaths: 100, GenerateTests: true}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg()
+			cfg.InstrLimit = tc.limit
+			run := RunFunc(cfg)
+			leg := func(noFork bool) *core.Report {
+				o := tc.opts
+				o.MaxTime = 120 * time.Second
+				o.NoQueryCache = tc.noCache
+				o.NoFork = noFork
+				return core.NewExplorer(run).Explore(o)
+			}
+			on, off := leg(false), leg(true)
+			requireSameReport(t, on, off)
+			if on.Stats.ForkResumes == 0 {
+				t.Fatalf("fork-on leg resumed nothing: %+v", on.Stats)
+			}
+			// At limit 1 every fork lands in the first cycle, so the
+			// checkpoint precedes all events and resumes save nothing; from
+			// limit 2 up the resumed siblings must skip prefix events.
+			if tc.limit >= 2 && on.Stats.ReplayEventsSaved == 0 {
+				t.Fatalf("fork-on leg saved no replay events: %+v", on.Stats)
+			}
+			if off.Stats.ForkSnapshots != 0 || off.Stats.ForkResumes != 0 {
+				t.Fatalf("fork-off leg has fork activity: %+v", off.Stats)
+			}
+			t.Logf("%s: paths=%d resumes=%d events-saved=%d",
+				tc.name, on.Stats.Paths, on.Stats.ForkResumes, on.Stats.ReplayEventsSaved)
+		})
+	}
+}
+
+// TestForkTraceFallsBackToReplay: a per-cycle trace writer must disable
+// checkpoint capture (a resumed sibling would silently omit pre-checkpoint
+// cycles from its trace), falling back to full replay.
+func TestForkTraceFallsBackToReplay(t *testing.T) {
+	cfg := matchedConfig()
+	cfg.Trace = io.Discard
+	rep := core.NewExplorer(RunFunc(cfg)).Explore(core.Options{
+		MaxPaths: 20, MaxTime: 60 * time.Second,
+	})
+	if rep.Stats.ForkSnapshots != 0 || rep.Stats.ForkResumes != 0 {
+		t.Fatalf("trace mode must not checkpoint: %+v", rep.Stats)
+	}
+	if rep.Stats.Paths < 2 {
+		t.Fatalf("suspiciously few paths: %+v", rep.Stats)
+	}
+}

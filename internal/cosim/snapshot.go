@@ -1,0 +1,134 @@
+package cosim
+
+import (
+	"symriscv/internal/core"
+	"symriscv/internal/cow"
+	"symriscv/internal/iss"
+	"symriscv/internal/rtl"
+	"symriscv/internal/smt"
+)
+
+// DUTSnapshotter is the optional DUT capability gating fork-point
+// checkpointing: a core that can freeze its complete micro-architectural
+// state and rebuild it against a fresh engine. SnapshotDUT returns a restore
+// closure; irqSrc, when non-nil, is the restored interrupt source the rebuilt
+// core must use (typed any so core packages need not import this one), and
+// the returned value must be the restored core (asserted to DUT here). DUTs
+// without this interface still work — their paths fall back to full replay.
+type DUTSnapshotter interface {
+	SnapshotDUT() func(eng *core.Engine, irqSrc any) any
+}
+
+// cosimSnapshot is the frozen image of a runState at a quiescent point (top
+// of the cycle loop). Memories freeze as copy-on-write layers (O(1)); the DUT
+// and ISS freeze as restore closures; bus latches and progress counters are
+// plain values. resume rebuilds a runState around a resumed sibling's engine
+// and re-enters the cycle loop mid-path.
+type cosimSnapshot struct {
+	cfg Config
+
+	imem       *cow.Layer[uint32, *smt.Term]
+	initBytes  *cow.Layer[uint32, *smt.Term]
+	rtlOverlay *cow.Layer[uint32, *smt.Term]
+	rtlWrites  []uint32
+	issOverlay *cow.Layer[uint32, *smt.Term]
+	issWrites  []uint32
+
+	dut func(eng *core.Engine, irqSrc any) any
+	ref func(eng *core.Engine, imem iss.InstrFetcher, dmem iss.DataMemory, irq iss.IrqSource) *iss.ISS
+	irq *irqSnapshot // nil when the run has no interrupt line
+
+	ib      rtl.IBusResponse
+	db      rtl.DBusResponse
+	retired int
+	cycles  int
+}
+
+// capture freezes the current runState. It is only installed as the engine's
+// checkpoint capture when the DUT implements DUTSnapshotter, so the type
+// assertion cannot fail.
+func (rs *runState) capture() core.ResumeFunc {
+	s := &cosimSnapshot{
+		cfg:     rs.cfg,
+		imem:    rs.imem.snapshot(),
+		dut:     rs.dut.(DUTSnapshotter).SnapshotDUT(),
+		ref:     rs.ref.Snapshot(),
+		ib:      rs.ib,
+		db:      rs.db,
+		retired: rs.retired,
+		cycles:  rs.cycles,
+	}
+	s.initBytes = rs.initPool.snapshot()
+	s.rtlOverlay, s.rtlWrites = rs.dmemRTL.snapshot()
+	s.issOverlay, s.issWrites = rs.dmemISS.snapshot()
+	if rs.irq != nil {
+		s.irq = rs.irq.snapshot()
+	}
+	return s.resume
+}
+
+// resume rebuilds the testbench around a resumed sibling's engine and
+// continues the cycle loop from the checkpointed cycle. Construction order
+// mirrors the dependency order of newRunState: memories first, then the
+// interrupt line, then the DUT and ISS bound to the restored instances.
+func (s *cosimSnapshot) resume(eng *core.Engine) error {
+	cfg := s.cfg
+	rs := &runState{
+		eng:     eng,
+		cfg:     cfg,
+		ib:      s.ib,
+		db:      s.db,
+		retired: s.retired,
+		cycles:  s.cycles,
+	}
+
+	filter := cfg.Filter
+	if cfg.Pin != nil {
+		filter = Filters(pinFilter(cfg.Pin), filter)
+	}
+	rs.imem = resumeIMem(eng, s.imem, filter, cfg.ConcreteIMem)
+	rs.initPool = resumeSharedInit(eng, s.initBytes, cfg.Pin, cfg.ConcreteMem)
+	ctx := eng.Context()
+	rs.dmemRTL = resumeDMem(ctx, rs.initPool, s.rtlOverlay, s.rtlWrites)
+	rs.dmemISS = resumeDMem(ctx, rs.initPool, s.issOverlay, s.issWrites)
+
+	var irqForDUT any
+	var irqForISS iss.IrqSource
+	if s.irq != nil {
+		rs.irq = s.irq.restore(eng)
+		irqForDUT = rs.irq
+		irqForISS = rs.irq
+	}
+	rs.dut = s.dut(eng, irqForDUT).(DUT)
+	rs.ref = s.ref(eng, rs.imem, rs.dmemISS, irqForISS)
+	rs.voter = NewVoter(eng)
+	rs.captureFn = rs.capture
+	return rs.loop()
+}
+
+// irqSnapshot freezes an interrupt line's per-slot value cache. The map is
+// copied both at freeze and per restore so the original path and any number
+// of resumed siblings extend their caches independently.
+type irqSnapshot struct {
+	pin  smt.MapEnv
+	vars map[uint64]*smt.Term
+}
+
+func (l *IrqLine) snapshot() *irqSnapshot {
+	return &irqSnapshot{pin: l.pin, vars: copyIrqVars(l.vars)}
+}
+
+func (s *irqSnapshot) restore(eng *core.Engine) *IrqLine {
+	return &IrqLine{eng: eng, pin: s.pin, vars: copyIrqVars(s.vars)}
+}
+
+func copyIrqVars(m map[uint64]*smt.Term) map[uint64]*smt.Term {
+	if m == nil {
+		return nil
+	}
+	out := make(map[uint64]*smt.Term, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+// Package cow provides a persistent copy-on-write map: O(1) snapshots of a
+// mutable map, with later writes landing in a fresh layer so every snapshot
+// stays frozen forever. It is the state-sharing substrate of fork-point
+// checkpointing (see internal/core): the co-simulation's lazily populated
+// memories snapshot at every quiescent point, and sibling paths resume from
+// a frozen layer without copying a single entry.
+//
+// The package is deterministic-kernel safe: no clocks, no randomness, and
+// map iteration only ever feeds another map (flattening), never an ordered
+// output.
+package cow
+
+// maxDepth bounds the frozen-layer chain a lookup walks. Snapshot flattens
+// chains that grow beyond it, so Get stays O(maxDepth) regardless of how
+// many checkpoints a long path takes.
+const maxDepth = 8
+
+// Layer is one frozen snapshot: an immutable set of entries over an
+// immutable parent chain. A nil *Layer is the empty snapshot.
+type Layer[K comparable, V any] struct {
+	entries map[K]V
+	parent  *Layer[K, V]
+	depth   int
+}
+
+// Map is a mutable map view: a writable current layer over a frozen parent
+// chain. The zero value / New() is an empty map. Not safe for concurrent
+// use; like the rest of the deterministic kernel it is single-goroutine.
+type Map[K comparable, V any] struct {
+	cur  map[K]V
+	base *Layer[K, V]
+}
+
+// New returns an empty copy-on-write map.
+func New[K comparable, V any]() *Map[K, V] { return &Map[K, V]{} }
+
+// Resume returns a fresh writable map on top of a frozen snapshot (nil is
+// the empty snapshot). Writes never touch the layer, so any number of
+// resumed maps can share it.
+func Resume[K comparable, V any](l *Layer[K, V]) *Map[K, V] {
+	return &Map[K, V]{base: l}
+}
+
+// Get returns the value for k, searching the current layer first and then
+// the frozen chain (newer layers shadow older ones).
+func (m *Map[K, V]) Get(k K) (V, bool) {
+	if m.cur != nil {
+		if v, ok := m.cur[k]; ok {
+			return v, true
+		}
+	}
+	for l := m.base; l != nil; l = l.parent {
+		if v, ok := l.entries[k]; ok {
+			return v, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Set writes k in the current layer, shadowing any frozen binding.
+func (m *Map[K, V]) Set(k K, v V) {
+	if m.cur == nil {
+		m.cur = make(map[K]V, 8)
+	}
+	m.cur[k] = v
+}
+
+// Snapshot freezes the current layer and returns the resulting immutable
+// snapshot; the map keeps writing on top of it. With no writes since the
+// last snapshot this is free (the existing snapshot is reused). Chains
+// longer than maxDepth are flattened into one layer.
+func (m *Map[K, V]) Snapshot() *Layer[K, V] {
+	if len(m.cur) == 0 {
+		return m.base
+	}
+	l := &Layer[K, V]{entries: m.cur, parent: m.base, depth: 1}
+	if m.base != nil {
+		l.depth = m.base.depth + 1
+	}
+	if l.depth > maxDepth {
+		l = flatten(l)
+	}
+	m.base = l
+	m.cur = nil
+	return l
+}
+
+// flatten merges a chain into a single layer. Entries are copied oldest
+// first so newer bindings shadow older ones; the copy targets a map, so the
+// unordered iteration cannot leak into any deterministic output.
+func flatten[K comparable, V any](l *Layer[K, V]) *Layer[K, V] {
+	var chain []*Layer[K, V]
+	n := 0
+	for x := l; x != nil; x = x.parent {
+		chain = append(chain, x)
+		n += len(x.entries)
+	}
+	merged := make(map[K]V, n)
+	for i := len(chain) - 1; i >= 0; i-- {
+		for k, v := range chain[i].entries {
+			merged[k] = v
+		}
+	}
+	return &Layer[K, V]{entries: merged, depth: 1}
+}

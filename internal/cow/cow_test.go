@@ -1,0 +1,109 @@
+package cow
+
+import "testing"
+
+func TestEmptyMap(t *testing.T) {
+	m := New[uint32, int]()
+	if _, ok := m.Get(1); ok {
+		t.Fatal("empty map reported a hit")
+	}
+	if l := m.Snapshot(); l != nil {
+		t.Fatal("empty snapshot should be nil")
+	}
+	r := Resume[uint32, int](nil)
+	if _, ok := r.Get(1); ok {
+		t.Fatal("resume of empty snapshot reported a hit")
+	}
+}
+
+func TestSetGetShadowing(t *testing.T) {
+	m := New[uint32, int]()
+	m.Set(1, 10)
+	m.Set(2, 20)
+	s1 := m.Snapshot()
+	m.Set(2, 21) // shadows the frozen binding
+	m.Set(3, 30)
+
+	for _, tc := range []struct {
+		k    uint32
+		want int
+	}{{1, 10}, {2, 21}, {3, 30}} {
+		if v, ok := m.Get(tc.k); !ok || v != tc.want {
+			t.Fatalf("Get(%d) = %d,%v want %d", tc.k, v, ok, tc.want)
+		}
+	}
+
+	// The frozen snapshot still sees the old world.
+	r := Resume(s1)
+	if v, ok := r.Get(2); !ok || v != 20 {
+		t.Fatalf("snapshot Get(2) = %d,%v want 20", v, ok)
+	}
+	if _, ok := r.Get(3); ok {
+		t.Fatal("snapshot sees a write made after it was taken")
+	}
+}
+
+func TestSnapshotIsolation(t *testing.T) {
+	m := New[uint32, int]()
+	m.Set(1, 10)
+	s := m.Snapshot()
+
+	// Two siblings resume from the same snapshot and diverge.
+	a, b := Resume(s), Resume(s)
+	a.Set(1, 100)
+	b.Set(2, 200)
+
+	if v, _ := a.Get(1); v != 100 {
+		t.Fatalf("a.Get(1) = %d want 100", v)
+	}
+	if v, _ := b.Get(1); v != 10 {
+		t.Fatalf("b.Get(1) = %d want 10 (a's write leaked)", v)
+	}
+	if _, ok := a.Get(2); ok {
+		t.Fatal("b's write leaked into a")
+	}
+	// The original keeps writing without disturbing either sibling.
+	m.Set(1, 11)
+	if v, _ := a.Get(1); v != 100 {
+		t.Fatalf("parent write leaked into a: %d", v)
+	}
+	if v, _ := b.Get(1); v != 10 {
+		t.Fatalf("parent write leaked into b: %d", v)
+	}
+}
+
+func TestSnapshotReuseWhenClean(t *testing.T) {
+	m := New[uint32, int]()
+	m.Set(1, 10)
+	s1 := m.Snapshot()
+	s2 := m.Snapshot() // no writes in between: must reuse
+	if s1 != s2 {
+		t.Fatal("clean snapshot did not reuse the previous layer")
+	}
+	m.Set(2, 20)
+	if s3 := m.Snapshot(); s3 == s2 {
+		t.Fatal("dirty snapshot reused the previous layer")
+	}
+}
+
+func TestFlattenBoundsDepthAndPreservesShadowing(t *testing.T) {
+	m := New[int, int]()
+	const rounds = 4 * maxDepth
+	for i := 0; i < rounds; i++ {
+		m.Set(i, i)  // a fresh key per round
+		m.Set(-1, i) // rewritten every round: newest must win
+		m.Snapshot()
+	}
+	l := m.Snapshot()
+	if l.depth > maxDepth {
+		t.Fatalf("layer depth %d exceeds maxDepth %d", l.depth, maxDepth)
+	}
+	for i := 0; i < rounds; i++ {
+		if v, ok := m.Get(i); !ok || v != i {
+			t.Fatalf("Get(%d) = %d,%v after flatten", i, v, ok)
+		}
+	}
+	if v, _ := m.Get(-1); v != rounds-1 {
+		t.Fatalf("shadowed key = %d want %d after flatten", v, rounds-1)
+	}
+}

@@ -88,7 +88,11 @@ func (o BenchOptions) withDefaults() BenchOptions {
 
 // BenchThroughput is one budgeted comprehensive-exploration measurement.
 type BenchThroughput struct {
-	Workers        int
+	Workers int
+	// InstrLimit is this row's workload depth; Fork records whether fork-point
+	// checkpointing was active for the row.
+	InstrLimit     int
+	Fork           bool
 	Paths          int
 	Completed      int
 	Instructions   uint64
@@ -96,8 +100,19 @@ type BenchThroughput struct {
 	ElapsedSeconds float64
 	PathsPerSec    float64
 	QueriesPerSec  float64
-	// Speedup is this row's paths/sec relative to the workers=1 row.
+	// Speedup is this row's paths/sec relative to the same-limit workers=1
+	// row with the same fork setting (the parallel-scaling column).
 	Speedup float64
+	// ForkSpeedup is this row's paths/sec relative to the same-limit
+	// same-workers fork-off row (what checkpointing buys); 0 when no such
+	// row was measured.
+	ForkSpeedup float64
+
+	// Fork-point checkpointing telemetry: snapshots captured, sibling paths
+	// resumed from one, and prefix events those resumes did not replay.
+	ForkSnapshots     uint64
+	ForkResumes       uint64
+	ReplayEventsSaved uint64
 
 	// Query-elimination telemetry: how many engine queries reached the SAT
 	// core and how the rest were answered (see internal/querycache).
@@ -134,6 +149,9 @@ func (t *BenchThroughput) fillTelemetry(s core.Stats) {
 	t.SolverUnknowns = s.SolverUnknowns
 	t.StoreHits = s.Cache.StoreHits
 	t.SAT = s.SAT
+	t.ForkSnapshots = s.ForkSnapshots
+	t.ForkResumes = s.ForkResumes
+	t.ReplayEventsSaved = s.ReplayEventsSaved
 }
 
 // BenchHunt is one per-fault time-to-bug measurement.
@@ -180,6 +198,7 @@ type BenchSolverConfig struct {
 	Workers   int
 	Inprocess bool
 	Portfolio bool
+	Fork      bool
 
 	Paths         int
 	Completed     int
@@ -239,35 +258,57 @@ func RunBench(opt BenchOptions) *BenchReport {
 		RewriteOff: opt.Rewrite.Disabled(),
 	}
 
-	for _, w := range []int{1, opt.Workers} {
-		cfg := cosim.Config{
-			ISS:             iss.VPConfig(),
-			Core:            microrv32.ShippedConfig(),
-			InstrLimit:      opt.InstrLimit,
-			NumSymbolicRegs: opt.NumRegs,
+	// Throughput matrix: per instruction limit, a workers=1 fork-off row, a
+	// workers=1 fork-on row (ForkSpeedup = what checkpointing buys at equal
+	// parallelism) and a workers=N fork-on row (Speedup = parallel scaling on
+	// top). Limit 2 always rides along when the base limit is shallower: the
+	// replayed prefixes are longest there, so it is where checkpointing shows.
+	limits := []int{opt.InstrLimit}
+	if opt.InstrLimit != 2 {
+		limits = append(limits, 2)
+	}
+	for _, limit := range limits {
+		type leg struct {
+			workers int
+			forkOff bool
 		}
-		c := opt.Common
-		c.Workers = w
-		r := c.explore(cosim.RunFunc(cfg), core.Options{MaxTime: opt.Budget})
-		row := BenchThroughput{
-			Workers:        w,
-			Paths:          r.Stats.Paths,
-			Completed:      r.Stats.Completed,
-			Instructions:   r.Stats.Instructions,
-			SolverQueries:  r.Stats.SolverQueries,
-			ElapsedSeconds: r.Stats.Elapsed.Seconds(),
-		}
-		row.fillTelemetry(r.Stats)
-		if row.ElapsedSeconds > 0 {
-			row.PathsPerSec = float64(row.Paths) / row.ElapsedSeconds
-			row.QueriesPerSec = float64(row.SolverQueries) / row.ElapsedSeconds
-		}
-		if base := firstThroughput(rep.Throughput); base != nil && base.PathsPerSec > 0 {
-			row.Speedup = row.PathsPerSec / base.PathsPerSec
-		} else {
+		for _, l := range []leg{{1, true}, {1, false}, {opt.Workers, false}} {
+			cfg := cosim.Config{
+				ISS:             iss.VPConfig(),
+				Core:            microrv32.ShippedConfig(),
+				InstrLimit:      limit,
+				NumSymbolicRegs: opt.NumRegs,
+			}
+			c := opt.Common
+			c.Workers = l.workers
+			if l.forkOff {
+				c.Fork = Off
+			}
+			r := c.explore(cosim.RunFunc(cfg), core.Options{MaxTime: opt.Budget})
+			row := BenchThroughput{
+				Workers:        l.workers,
+				InstrLimit:     limit,
+				Fork:           !(l.forkOff || c.Fork.Disabled()),
+				Paths:          r.Stats.Paths,
+				Completed:      r.Stats.Completed,
+				Instructions:   r.Stats.Instructions,
+				SolverQueries:  r.Stats.SolverQueries,
+				ElapsedSeconds: r.Stats.Elapsed.Seconds(),
+			}
+			row.fillTelemetry(r.Stats)
+			if row.ElapsedSeconds > 0 {
+				row.PathsPerSec = float64(row.Paths) / row.ElapsedSeconds
+				row.QueriesPerSec = float64(row.SolverQueries) / row.ElapsedSeconds
+			}
 			row.Speedup = 1
+			if base := findThroughput(rep.Throughput, limit, 1, row.Fork); base != nil && base.PathsPerSec > 0 {
+				row.Speedup = row.PathsPerSec / base.PathsPerSec
+			}
+			if base := findThroughput(rep.Throughput, limit, row.Workers, false); base != nil && base.PathsPerSec > 0 && row.Fork {
+				row.ForkSpeedup = row.PathsPerSec / base.PathsPerSec
+			}
+			rep.Throughput = append(rep.Throughput, row)
 		}
-		rep.Throughput = append(rep.Throughput, row)
 	}
 
 	for _, f := range opt.Faults {
@@ -332,12 +373,20 @@ func runSolverAblation(opt BenchOptions) *BenchSolverAblation {
 		workers   int
 		inprocess bool
 		portfolio bool
+		noFork    bool
 	}
+	// The fork-off rows double as the in-process fork-checkpointing
+	// equivalence check: the same bounded workload must report identical
+	// deterministic fields whether siblings resume from snapshots or replay
+	// their full decision prefix, sequentially and sharded.
 	variants := []variant{
-		{"defaults w1", 1, true, false},
-		{"inprocess-off w1", 1, false, false},
-		{"portfolio w2", 2, true, true},
-		{"portfolio w4", 4, true, true},
+		{"defaults w1", 1, true, false, false},
+		{"inprocess-off w1", 1, false, false, false},
+		{"portfolio w2", 2, true, true, false},
+		{"portfolio w4", 4, true, true, false},
+		{"fork-off w1", 1, true, false, true},
+		{"fork-off w2", 2, true, false, true},
+		{"fork-off w4", 4, true, false, true},
 	}
 
 	mat := &BenchSolverAblation{MaxPaths: opt.AblationMaxPaths, Match: true}
@@ -353,12 +402,16 @@ func runSolverAblation(opt BenchOptions) *BenchSolverAblation {
 		o := bounded
 		o.NoInprocessing = !v.inprocess
 		o.Portfolio = v.portfolio
+		// A global -fork off pins every row to replay (the fork-off rows then
+		// check plain worker-count equivalence instead of resume-vs-replay).
+		o.NoFork = v.noFork || opt.Fork.Disabled()
 		r := exploreWorkers(cosim.RunFunc(cfg), o, v.workers)
 		mat.Configs = append(mat.Configs, BenchSolverConfig{
 			Name:          v.name,
 			Workers:       v.workers,
 			Inprocess:     v.inprocess,
 			Portfolio:     v.portfolio,
+			Fork:          !o.NoFork,
 			Paths:         r.Stats.Paths,
 			Completed:     r.Stats.Completed,
 			Infeasible:    r.Stats.Infeasible,
@@ -490,11 +543,16 @@ func findingClass(err error) string {
 	return err.Error()
 }
 
-func firstThroughput(rows []BenchThroughput) *BenchThroughput {
-	if len(rows) == 0 {
-		return nil
+// findThroughput returns the already-measured row for (limit, workers, fork)
+// — the speedup baselines of the throughput matrix — or nil.
+func findThroughput(rows []BenchThroughput, limit, workers int, fork bool) *BenchThroughput {
+	for i := range rows {
+		r := &rows[i]
+		if r.InstrLimit == limit && r.Workers == workers && r.Fork == fork {
+			return r
+		}
 	}
-	return &rows[0]
+	return nil
 }
 
 // Format renders the benchmark report as a human-readable table.
@@ -505,23 +563,35 @@ func (r *BenchReport) Format() string {
 	if r.CacheOff || r.RewriteOff {
 		fmt.Fprintf(&b, "ablation: cache=%s rewrite=%s\n", onOff(!r.CacheOff), onOff(!r.RewriteOff))
 	}
-	fmt.Fprintf(&b, "%-8s %8s %10s %12s %10s %10s %12s %8s\n",
-		"Workers", "Paths", "Complete", "Queries", "CDCL", "Elim", "Paths/s", "Speedup")
-	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 85))
+	fmt.Fprintf(&b, "%-6s %-5s %-5s %8s %10s %12s %10s %10s %12s %8s %8s\n",
+		"Limit", "Work", "Fork", "Paths", "Complete", "Queries", "CDCL", "Elim", "Paths/s", "Speedup", "ForkSpd")
+	fmt.Fprintf(&b, "%s\n", strings.Repeat("-", 104))
 	for _, t := range r.Throughput {
-		fmt.Fprintf(&b, "%-8d %8d %10d %12d %10d %10d %12.1f %7.2fx\n",
-			t.Workers, t.Paths, t.Completed, t.SolverQueries, t.CDCLQueries, t.Eliminated, t.PathsPerSec, t.Speedup)
+		forkSpd := "      -"
+		if t.ForkSpeedup > 0 {
+			forkSpd = fmt.Sprintf("%7.2fx", t.ForkSpeedup)
+		}
+		fmt.Fprintf(&b, "%-6d %-5d %-5s %8d %10d %12d %10d %10d %12.1f %7.2fx %s\n",
+			t.InstrLimit, t.Workers, onOff(t.Fork), t.Paths, t.Completed, t.SolverQueries,
+			t.CDCLQueries, t.Eliminated, t.PathsPerSec, t.Speedup, forkSpd)
 	}
 	for _, t := range r.Throughput {
-		fmt.Fprintf(&b, "  cache w=%d: stack=%d exact=%d subset=%d superset=%d sliced=%d(-%d) rewrites=%d unknowns=%d store=%d\n",
-			t.Workers, t.StackHits, t.ExactHits, t.SubsetSat, t.SupersetUnsat,
+		fmt.Fprintf(&b, "  cache l=%d w=%d fork=%s: stack=%d exact=%d subset=%d superset=%d sliced=%d(-%d) rewrites=%d unknowns=%d store=%d\n",
+			t.InstrLimit, t.Workers, onOff(t.Fork), t.StackHits, t.ExactHits, t.SubsetSat, t.SupersetUnsat,
 			t.SlicedQueries, t.SlicedDropped, t.RewriteHits, t.SolverUnknowns, t.StoreHits)
 	}
 	for _, t := range r.Throughput {
 		s := t.SAT
-		fmt.Fprintf(&b, "  sat   w=%d: props=%d conflicts=%d decisions=%d restarts=%d learnt=%d(-%d) subsumed=%d strengthened=%d elim=%d(+%d back)\n",
-			t.Workers, s.Propagations, s.Conflicts, s.Decisions, s.Restarts,
+		fmt.Fprintf(&b, "  sat   l=%d w=%d fork=%s: props=%d conflicts=%d decisions=%d restarts=%d learnt=%d(-%d) subsumed=%d strengthened=%d elim=%d(+%d back)\n",
+			t.InstrLimit, t.Workers, onOff(t.Fork), s.Propagations, s.Conflicts, s.Decisions, s.Restarts,
 			s.Learnt, s.Removed, s.Subsumed, s.Strengthened, s.Eliminated, s.Restored)
+	}
+	for _, t := range r.Throughput {
+		if t.ForkSnapshots == 0 && t.ForkResumes == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  fork  l=%d w=%d: snapshots=%d resumes=%d replay-events-saved=%d\n",
+			t.InstrLimit, t.Workers, t.ForkSnapshots, t.ForkResumes, t.ReplayEventsSaved)
 	}
 	if len(r.Hunts) > 0 {
 		b.WriteString("\nTime-to-bug (matched baseline + injected fault, stop on first finding)\n")
@@ -558,8 +628,8 @@ func (r *BenchReport) Format() string {
 		}
 		fmt.Fprintf(&b, "\nSolver equivalence matrix (MaxPaths=%d): %s\n", m.MaxPaths, verdict)
 		for _, c := range m.Configs {
-			fmt.Fprintf(&b, "  %-18s w=%d inprocess=%s portfolio=%s: paths=%d completed=%d findings=%d queries=%d cdcl=%d conflicts=%d\n",
-				c.Name, c.Workers, onOff(c.Inprocess), onOff(c.Portfolio),
+			fmt.Fprintf(&b, "  %-18s w=%d inprocess=%s portfolio=%s fork=%s: paths=%d completed=%d findings=%d queries=%d cdcl=%d conflicts=%d\n",
+				c.Name, c.Workers, onOff(c.Inprocess), onOff(c.Portfolio), onOff(c.Fork),
 				c.Paths, c.Completed, c.Findings, c.SolverQueries, c.CDCLQueries, c.SAT.Conflicts)
 		}
 	}

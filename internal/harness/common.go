@@ -56,6 +56,11 @@ type Common struct {
 	// heuristics (sat.PortfolioOptions). Reports stay byte-identical — the
 	// portfolio changes how fast each solve answers, never the answer.
 	Portfolio Toggle
+	// Fork toggles fork-point state checkpointing (internal/core/snapshot.go):
+	// sibling paths resume from a copy-on-write snapshot instead of replaying
+	// the whole decision prefix from cycle 0. Reports are identical on and
+	// off by construction; off measures what checkpointing buys.
+	Fork Toggle
 	// Obs, when non-nil, attaches every exploration to the observability
 	// layer (spans, counters, JSONL traces). Strictly a side channel:
 	// reports are byte-identical with and without it.
@@ -84,6 +89,7 @@ type Common struct {
 // explicit option turned off).
 func (c Common) apply(o core.Options) core.Options {
 	o.NoQueryCache = o.NoQueryCache || c.Cache.Disabled()
+	o.NoFork = o.NoFork || c.Fork.Disabled()
 	o.NoTermRewrites = o.NoTermRewrites || c.Rewrite.Disabled()
 	o.NoInprocessing = o.NoInprocessing || c.Inprocess.Disabled()
 	o.Portfolio = o.Portfolio || c.Portfolio == On

@@ -1,0 +1,39 @@
+package iss
+
+import (
+	"symriscv/internal/core"
+	"symriscv/internal/smt"
+)
+
+// Snapshot freezes the simulator's architectural state and returns a restore
+// closure rebuilding an equivalent ISS bound to a fresh engine and to the
+// restored memory bindings (fork-point checkpointing: the instruction and
+// data memories are snapshotted separately by the co-simulation, so the
+// resumed ISS must point at the restored instances, not the originals).
+// Register values and the PC are hash-consed *smt.Term pointers shared as-is;
+// the CSR map and interesting-register slice are copied per restore so any
+// number of resumed siblings stay isolated. irq, when non-nil, replaces the
+// frozen interrupt source (which is bound to the captured engine).
+func (s *ISS) Snapshot() func(eng *core.Engine, imem InstrFetcher, dmem DataMemory, irq IrqSource) *ISS {
+	frozen := *s
+	csr := copyCSRs(s.csr)
+	interesting := append([]int(nil), s.interesting...)
+	return func(eng *core.Engine, imem InstrFetcher, dmem DataMemory, irq IrqSource) *ISS {
+		n := frozen
+		n.eng = eng
+		n.imem = imem
+		n.dmem = dmem
+		n.csr = copyCSRs(csr)
+		n.interesting = append([]int(nil), interesting...)
+		n.irq = irq
+		return &n
+	}
+}
+
+func copyCSRs(m map[uint16]*smt.Term) map[uint16]*smt.Term {
+	out := make(map[uint16]*smt.Term, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,41 @@
+package microrv32
+
+import (
+	"symriscv/internal/core"
+	"symriscv/internal/smt"
+)
+
+// SnapshotDUT freezes the core's complete micro-architectural state and
+// returns a restore closure rebuilding an equivalent core bound to a fresh
+// engine (fork-point checkpointing). Register values, the in-flight
+// instruction and the memory plan carry hash-consed *smt.Term pointers that
+// are shared as-is; the CSR map and interesting-register slice are copied per
+// restore so resumed siblings stay isolated; the immutable decode table is
+// shared. irqSrc, when non-nil, must be the restored interrupt source
+// (asserted to IrqSource); it replaces the frozen one without disturbing
+// irqCheckedSlot, unlike the SetIrqSource testbench hook. The result is the
+// restored *Core (typed any to keep this package independent of the
+// co-simulation harness).
+func (c *Core) SnapshotDUT() func(eng *core.Engine, irqSrc any) any {
+	frozen := *c
+	csr := copyCSRMap(c.csr)
+	interesting := append([]int(nil), c.interesting...)
+	return func(eng *core.Engine, irqSrc any) any {
+		n := frozen
+		n.eng = eng
+		n.csr = copyCSRMap(csr)
+		n.interesting = append([]int(nil), interesting...)
+		if irqSrc != nil {
+			n.irq = irqSrc.(IrqSource)
+		}
+		return &n
+	}
+}
+
+func copyCSRMap(m map[uint16]*smt.Term) map[uint16]*smt.Term {
+	out := make(map[uint16]*smt.Term, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,111 @@
+package parexplore_test
+
+import (
+	"testing"
+	"time"
+
+	"symriscv/internal/core"
+	"symriscv/internal/cosim"
+	"symriscv/internal/iss"
+	"symriscv/internal/microrv32"
+	"symriscv/internal/parexplore"
+	"symriscv/internal/smt"
+)
+
+// TestForkEquivalenceAcrossWorkers pins fork-point checkpointing against the
+// sharded orchestrator: on a real co-simulation workload, every worker count
+// produces the same report with checkpoint-resume as with full prefix
+// replay, and both match the sequential fork-off reference. Run under -race
+// in CI: resumed engines share checkpoint state (capped slices, COW layers)
+// across sibling paths, and hand-offs must drop fork points cleanly.
+func TestForkEquivalenceAcrossWorkers(t *testing.T) {
+	cfg := cosim.Config{
+		ISS:        iss.FixedConfig(),
+		Core:       microrv32.FixedConfig(),
+		Filter:     cosim.BlockSystemInstructions,
+		InstrLimit: 2,
+	}
+	opts := core.Options{
+		Search:   core.SearchDFS,
+		MaxPaths: 60,
+		MaxTime:  120 * time.Second,
+	}
+	seqOpts := opts
+	seqOpts.NoFork = true
+	ref := core.NewExplorer(cosim.RunFunc(cfg)).Explore(seqOpts)
+	if ref.Stats.Paths == 0 {
+		t.Fatal("reference exploration ran no paths")
+	}
+	wantFindings := findingSet(t, ref)
+	for _, workers := range []int{1, 2, 4} {
+		for _, noFork := range []bool{false, true} {
+			o := opts
+			o.NoFork = noFork
+			rep := parexplore.Explore(cosim.RunFunc(cfg), o, workers)
+			if !sameStats(ref.Stats, rep.Stats) {
+				t.Errorf("workers=%d noFork=%v: stats diverge\nref: %+v\ngot: %+v",
+					workers, noFork, ref.Stats, rep.Stats)
+			}
+			got := findingSet(t, rep)
+			if len(got) != len(wantFindings) {
+				t.Errorf("workers=%d noFork=%v: findings %v, want %v",
+					workers, noFork, got, wantFindings)
+			}
+			for k := range wantFindings {
+				if got[k] != wantFindings[k] {
+					t.Errorf("workers=%d noFork=%v: finding %q count %d, want %d",
+						workers, noFork, k, got[k], wantFindings[k])
+				}
+			}
+			if noFork && (rep.Stats.ForkSnapshots != 0 || rep.Stats.ForkResumes != 0) {
+				t.Errorf("workers=%d: fork-off run has fork activity: %+v", workers, rep.Stats)
+			}
+			if !noFork && rep.Stats.ForkResumes == 0 {
+				t.Errorf("workers=%d: fork-on run resumed nothing: %+v", workers, rep.Stats)
+			}
+		}
+	}
+}
+
+// TestForkHandoffFallsBackToReplay forces tiny hand-off batches on the
+// synthetic tree so prefixes cross workers constantly; stats must still
+// match the sequential reference exactly (handed-off nodes drop their fork
+// points and replay).
+func TestForkHandoffFallsBackToReplay(t *testing.T) {
+	run := checkpointTree(6)
+	seq := core.NewExplorer(run).Explore(core.Options{Search: core.SearchDFS, NoFork: true})
+	if seq.Stats.Paths != 1<<6 {
+		t.Fatalf("sequential paths = %d, want %d", seq.Stats.Paths, 1<<6)
+	}
+	for _, workers := range []int{2, 4} {
+		rep := parexplore.Explore(run, core.Options{Search: core.SearchDFS}, workers)
+		if !sameStats(seq.Stats, rep.Stats) {
+			t.Errorf("workers=%d: stats diverge\nseq: %+v\npar: %+v",
+				workers, seq.Stats, rep.Stats)
+		}
+	}
+}
+
+// checkpointTree is findingTree with a quiescent checkpoint before every
+// branch, exercising the engine-level fork machinery without the cosim
+// testbench on top.
+func checkpointTree(bits int) core.RunFunc {
+	var loop func(e *core.Engine, v *smt.Term, bit int, pat uint64) error
+	loop = func(e *core.Engine, v *smt.Term, bit int, pat uint64) error {
+		ctx := e.Context()
+		for ; bit < bits; bit++ {
+			b, p := bit, pat
+			e.Checkpoint(func() core.ResumeFunc {
+				return func(e2 *core.Engine) error { return loop(e2, v, b, p) }
+			})
+			if e.Branch(ctx.Eq(ctx.Extract(v, bit, bit), ctx.BV(1, 1))) {
+				pat |= 1 << bit
+			}
+		}
+		e.CountInstruction(uint64(bits))
+		return nil
+	}
+	return func(e *core.Engine) error {
+		return loop(e, e.MakeSymbolic("v", 8), 0, 0)
+	}
+}

@@ -340,6 +340,10 @@ func (c *coord) merge(shards []*core.Shard) *core.Report {
 		rep.Stats.SAT.Add(ss.SAT)
 		rep.Stats.RewriteHits += sh.RewriteHits()
 		rep.Stats.Cache.Add(sh.CacheStats())
+		snaps, resumes, saved := sh.ForkStats()
+		rep.Stats.ForkSnapshots += snaps
+		rep.Stats.ForkResumes += resumes
+		rep.Stats.ReplayEventsSaved += saved
 	}
 
 	// Exhausted mirrors the sequential explorer: false whenever a budget,
@@ -388,6 +392,7 @@ func Explore(run core.RunFunc, opts core.Options, workers int) *core.Report {
 		NoQueryCache:          opts.NoQueryCache,
 		NoTermRewrites:        opts.NoTermRewrites,
 		NoInprocessing:        opts.NoInprocessing,
+		NoFork:                opts.NoFork,
 		Obs:                   opts.Obs,
 	}
 	// One read-mostly cache store spans all workers; each shard buffers its

@@ -1,0 +1,29 @@
+package pipecore
+
+import "symriscv/internal/core"
+
+// SnapshotDUT freezes the pipeline's complete state and returns a restore
+// closure rebuilding an equivalent core bound to a fresh engine (fork-point
+// checkpointing, same contract as microrv32.Core.SnapshotDUT). All pipeline
+// registers hold hash-consed *smt.Term pointers shared as-is; the EX-stage
+// memory state and the interesting-register slice are the only mutable heap
+// state, copied per restore. The pipecore has no interrupt line, so irqSrc
+// is ignored.
+func (c *Core) SnapshotDUT() func(eng *core.Engine, irqSrc any) any {
+	frozen := *c
+	if c.exMem != nil {
+		m := *c.exMem
+		frozen.exMem = &m
+	}
+	interesting := append([]int(nil), c.interesting...)
+	return func(eng *core.Engine, _ any) any {
+		n := frozen
+		n.eng = eng
+		if frozen.exMem != nil {
+			m := *frozen.exMem
+			n.exMem = &m
+		}
+		n.interesting = append([]int(nil), interesting...)
+		return &n
+	}
+}
