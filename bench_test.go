@@ -79,7 +79,11 @@ func BenchmarkTable2(b *testing.B) {
 // §V-A exemplary run, scaled to a fixed wall budget).
 func BenchmarkLongRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res := harness.RunLongRun(5*time.Second, 1, 2, 1, harness.Ablate{})
+		res := harness.LongRun(harness.LongRunOptions{
+			Common:     harness.Common{Workers: 1, Budget: 5 * time.Second},
+			InstrLimit: 1,
+			NumRegs:    2,
+		})
 		b.ReportMetric(float64(res.Report.Stats.Paths), "paths")
 		b.ReportMetric(float64(res.Report.Stats.Instructions), "instrs")
 		b.ReportMetric(float64(len(res.Report.TestVectors)), "testvecs")
@@ -212,7 +216,7 @@ func BenchmarkTable2Pipeline(b *testing.B) {
 		res := harness.RunTable2(harness.Table2Options{
 			PerCellTime: 60 * time.Second,
 			Limits:      []int{1},
-			DUT:         harness.DUTPipeline,
+			Common:      harness.Common{Core: cosim.CorePipecore},
 		})
 		found, sum := res.Sum(1)
 		if found != len(res.Rows) {

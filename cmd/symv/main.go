@@ -13,12 +13,14 @@
 //	symv baseline [-cell-time 20s] [-trials 200000] [shared flags]
 //	symv replay  [-fault E6] [-cycle-trace] [shared flags] name=hexvalue ...
 //	symv trace   [-top 8] TRACE.jsonl
-//	symv lint-table [-core microrv32|pipecore|both] [-v]
-//	symv lint-dut  [-core microrv32|pipecore|both] [-allowlist LINTDUT.allow]
+//	symv lint-table [-v] [shared flags]
+//	symv lint-dut  [-allowlist LINTDUT.allow]
 //	               [-sat-probe] [-regs 2] [-v] [shared flags]
 //
 // Every subcommand accepts the shared flag group:
 //
+//	-core NAME     device under test: microrv32 (default) | pipecore; the
+//	               lint commands also accept both (their default)
 //	-workers N     shard each exploration's path tree across N solver
 //	               contexts (default GOMAXPROCS); results are identical to
 //	               -workers 1 by construction (see internal/parexplore)
@@ -61,7 +63,9 @@ import (
 	"symriscv/internal/iss"
 	"symriscv/internal/microrv32"
 	"symriscv/internal/obs"
+	"symriscv/internal/pipecore"
 	"symriscv/internal/qstore"
+	"symriscv/internal/rvfi"
 )
 
 func main() {
@@ -166,8 +170,8 @@ commands:
   lint-dut    static semantic lint of a core's symbolic transition relation
 
 shared flags (every exploration command):
-  -workers N  -cache on|off  -rewrite on|off  -fork on|off  -store DIR
-  -json  -trace FILE  -metrics`)
+  -core microrv32|pipecore  -workers N  -cache on|off  -rewrite on|off
+  -fork on|off  -store DIR  -json  -trace FILE  -metrics`)
 }
 
 // sharedFlags is the flag group every exploration subcommand registers: the
@@ -175,6 +179,7 @@ shared flags (every exploration command):
 // observability sinks. It maps one-to-one onto harness.Common.
 type sharedFlags struct {
 	workers   *int
+	core      *string
 	cache     *string
 	rewrite   *string
 	inprocess *string
@@ -184,6 +189,13 @@ type sharedFlags struct {
 	jsonOut   *bool
 	trace     *string
 	metrics   *bool
+
+	// allowBothCores lets -core take "both"/"all" (the lint commands fan out
+	// over every core themselves; campaigns verify exactly one).
+	allowBothCores bool
+	// deprecated collects deprecation notes recorded by legacy flag aliases
+	// (e.g. table2's -dut); build surfaces them via harness.Common.Warnings.
+	deprecated []string
 }
 
 // sharedGroup registers the shared flag group on a subcommand's flag set.
@@ -191,6 +203,8 @@ func sharedGroup(fs *flag.FlagSet) *sharedFlags {
 	return &sharedFlags{
 		workers: fs.Int("workers", runtime.GOMAXPROCS(0),
 			"parallel exploration workers per exploration (1 = sequential; results are worker-count independent)"),
+		core: fs.String("core", "",
+			"device under test: microrv32 | pipecore (default microrv32; the lint commands also accept both)"),
 		cache:     fs.String("cache", "on", "query-elimination layer (stack models, slicing, feasibility cache): on | off"),
 		rewrite:   fs.String("rewrite", "on", "extended term rewrites ahead of bit-blasting: on | off"),
 		inprocess: fs.String("inprocess", "on", "SAT-core inprocessing (subsumption, strengthening, variable elimination): on | off"),
@@ -232,6 +246,17 @@ func (g *sharedFlags) build(cmd string, stderr io.Writer, keyParts ...string) (h
 	if c.Fork, ok = harness.ParseToggle(*g.fork); !ok {
 		return c, nil, badUsage(stderr, "bad -fork=%q (want on or off)", *g.fork)
 	}
+	if g.allowBothCores && (*g.core == "" || isAllCores(*g.core)) {
+		// The command fans out over every core itself (harness.LintDUTCores);
+		// Common.Core stays at the zero value.
+	} else if kind, ok := cosim.ParseCoreKind(*g.core); ok {
+		c.Core = kind
+	} else if g.allowBothCores {
+		return c, nil, badUsage(stderr, "bad -core=%q (want microrv32, pipecore or both)", *g.core)
+	} else {
+		return c, nil, badUsage(stderr, "bad -core=%q (want microrv32 or pipecore)", *g.core)
+	}
+	c.DeprecatedFlags = g.deprecated
 	for _, w := range c.Warnings() {
 		fmt.Fprintln(stderr, "symv: warning:", w)
 	}
@@ -286,6 +311,44 @@ func (g *sharedFlags) build(cmd string, stderr io.Writer, keyParts ...string) (h
 	return c, finish, nil
 }
 
+// isAllCores reports whether a -core value selects every core at once (only
+// the lint commands accept this; campaigns verify exactly one core).
+func isAllCores(v string) bool {
+	switch strings.ToLower(v) {
+	case "both", "all":
+		return true
+	}
+	return false
+}
+
+// coreName returns the canonical name of the selected core for store version
+// keys, so aliases ("", "pipeline") key identically to their canonical
+// spelling. Unparseable values pass through lowercased; build rejects them
+// before any store is opened.
+func (g *sharedFlags) coreName() string {
+	if k, ok := cosim.ParseCoreKind(*g.core); ok {
+		return k.String()
+	}
+	return strings.ToLower(*g.core)
+}
+
+// deprecate records a deprecation note for build to surface through
+// harness.Common.Warnings. Call before build.
+func (g *sharedFlags) deprecate(note string) { g.deprecated = append(g.deprecated, note) }
+
+// lintCores resolves -core for the lint commands, where the empty value and
+// "both"/"all" fan out over every core.
+func (g *sharedFlags) lintCores() []string { return harness.LintDUTCores(*g.core) }
+
+// requireMicroRV32 rejects -core selections other than microrv32 for commands
+// whose campaign is defined on the FSM core only.
+func (g *sharedFlags) requireMicroRV32(cmd string, stderr io.Writer) error {
+	if k, ok := cosim.ParseCoreKind(*g.core); ok && k == cosim.CorePipecore {
+		return badUsage(stderr, "%s supports only -core microrv32", cmd)
+	}
+	return nil
+}
+
 func cmdTable1(args []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("table1", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -296,7 +359,7 @@ func cmdTable1(args []string, stderr io.Writer) error {
 		return err
 	}
 
-	common, finish, err := shared.build("table1", stderr)
+	common, finish, err := shared.build("table1", stderr, "core="+shared.coreName())
 	if err != nil {
 		return err
 	}
@@ -323,20 +386,22 @@ func cmdTable2(args []string, stderr io.Writer) error {
 	limitsArg := fs.String("limits", "1,2", "comma-separated instruction limits")
 	faultsArg := fs.String("faults", "", "comma-separated fault subset (default all)")
 	parallel := fs.Int("parallel", 1, "concurrent cells (each with its own solver)")
-	dutArg := fs.String("dut", "microrv32", "device under test: microrv32 | pipeline")
+	dutArg := fs.String("dut", "", "deprecated alias of -core (microrv32 | pipecore)")
 	shared := sharedGroup(fs)
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 
-	var dut harness.DUTKind
-	switch strings.ToLower(*dutArg) {
-	case "microrv32", "":
-		dut = harness.DUTMicroRV32
-	case "pipeline", "pipecore":
-		dut = harness.DUTPipeline
-	default:
-		return badUsage(stderr, "unknown DUT %q", *dutArg)
+	if *dutArg != "" {
+		kind, ok := cosim.ParseCoreKind(*dutArg)
+		if !ok {
+			return badUsage(stderr, "bad -dut=%q (want microrv32 or pipecore)", *dutArg)
+		}
+		if cur, curOK := cosim.ParseCoreKind(*shared.core); *shared.core != "" && (!curOK || cur != kind) {
+			return badUsage(stderr, "-dut=%q conflicts with -core=%q; drop -dut", *dutArg, *shared.core)
+		}
+		*shared.core = kind.String()
+		shared.deprecate("-dut is deprecated; use the shared -core flag (microrv32 | pipecore)")
 	}
 
 	limits, err := parseInts(*limitsArg)
@@ -351,7 +416,7 @@ func cmdTable2(args []string, stderr io.Writer) error {
 		}
 	}
 	common, finish, err := shared.build("table2", stderr,
-		"dut="+dut.String(), "limits="+*limitsArg, "faults="+*faultsArg)
+		"core="+shared.coreName(), "limits="+*limitsArg, "faults="+*faultsArg)
 	if err != nil {
 		return err
 	}
@@ -360,7 +425,6 @@ func cmdTable2(args []string, stderr io.Writer) error {
 		Limits:      limits,
 		Faults:      fset,
 		Parallel:    *parallel,
-		DUT:         dut,
 		Common:      common,
 	})
 	if *shared.jsonOut {
@@ -405,9 +469,9 @@ func toReportJSON(r *core.Report) reportJSON {
 func cmdHunt(args []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("hunt", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	faultArg := fs.String("fault", "", "fault to inject (E0..E9); empty = none")
+	faultArg := fs.String("fault", "", "fault to inject (E0..E14); empty = none")
 	limit := fs.Int("limit", 1, "instruction limit")
-	shipped := fs.Bool("shipped", false, "use the as-shipped (buggy) core and VP instead of the fixed baseline")
+	shipped := fs.Bool("shipped", false, "use the as-shipped (buggy) core and VP instead of the fixed baseline (microrv32 only)")
 	regs := fs.Int("regs", 2, "symbolic register slice size")
 	budget := fs.Duration("time", 60*time.Second, "exploration budget")
 	all := fs.Bool("all", false, "collect all findings instead of stopping at the first")
@@ -425,7 +489,22 @@ func cmdHunt(args []string, stderr io.Writer) error {
 	if err != nil {
 		return badUsage(stderr, "%v", err)
 	}
+	var fv []faults.Fault
+	if *faultArg != "" {
+		if fv, err = parseFaults(*faultArg); err != nil {
+			return badUsage(stderr, "%v", err)
+		}
+	}
+	if k, ok := cosim.ParseCoreKind(*shared.core); ok && k == cosim.CorePipecore {
+		if *shipped {
+			return badUsage(stderr, "-shipped is microrv32-only (pipecore has no as-shipped variant)")
+		}
+		if *irqBug {
+			return badUsage(stderr, "-mie-bug is microrv32-only")
+		}
+	}
 	common, finish, err := shared.build("hunt", stderr,
+		"core="+shared.coreName(),
 		fmt.Sprintf("shipped=%v", *shipped), "fault="+*faultArg,
 		fmt.Sprintf("limit=%d", *limit), fmt.Sprintf("regs=%d", *regs),
 		fmt.Sprintf("irq=%v", *irq || *irqBug), fmt.Sprintf("miebug=%v", *irqBug))
@@ -433,32 +512,28 @@ func cmdHunt(args []string, stderr io.Writer) error {
 		return err
 	}
 
-	coreCfg := microrv32.FixedConfig()
-	issCfg := iss.FixedConfig()
-	filter := cosim.BlockSystemInstructions
-	if *shipped {
-		coreCfg = microrv32.ShippedConfig()
-		issCfg = iss.VPConfig()
-		filter = nil
-	}
-	if *faultArg != "" {
-		fv, err := parseFaults(*faultArg)
-		if err != nil {
-			return badUsage(stderr, "%v", err)
-		}
-		coreCfg.Faults = faults.Of(fv...)
-	}
-
-	if *irqBug {
-		coreCfg.IgnoreMIEBug = true
-	}
 	cfg := cosim.Config{
-		ISS:                issCfg,
-		Core:               coreCfg,
-		Filter:             filter,
+		ISS:                iss.FixedConfig(),
+		Filter:             cosim.BlockSystemInstructions,
 		InstrLimit:         *limit,
 		NumSymbolicRegs:    *regs,
 		SymbolicInterrupts: *irq || *irqBug,
+		DUTCore:            common.Core,
+	}
+	if common.Core == cosim.CorePipecore {
+		cfg.Pipe = pipecore.Config{Faults: faults.Of(fv...)}
+	} else {
+		coreCfg := microrv32.FixedConfig()
+		if *shipped {
+			coreCfg = microrv32.ShippedConfig()
+			cfg.ISS = iss.VPConfig()
+			cfg.Filter = nil
+		}
+		coreCfg.Faults = faults.Of(fv...)
+		if *irqBug {
+			coreCfg.IgnoreMIEBug = true
+		}
+		cfg.Core = coreCfg
 	}
 	if cfg.SymbolicInterrupts {
 		cfg.StartPC = 0x100
@@ -472,7 +547,7 @@ func cmdHunt(args []string, stderr io.Writer) error {
 	if *progress {
 		opts.Progress = func(s core.Stats) { fmt.Fprintf(stderr, "  ... %v\n", s) }
 	}
-	rep := harness.ExploreWith(cosim.RunFunc(cfg), harness.ExploreOptions{Common: common, Core: opts})
+	rep := harness.ExploreWith(cosim.RunFunc(cfg), harness.ExploreOptions{Common: common, Opts: opts})
 
 	if *shared.jsonOut {
 		if err := json.NewEncoder(os.Stdout).Encode(toReportJSON(rep)); err != nil {
@@ -510,7 +585,7 @@ func cmdLongRun(args []string, stderr io.Writer) error {
 		return err
 	}
 
-	common, finish, err := shared.build("longrun", stderr,
+	common, finish, err := shared.build("longrun", stderr, "core="+shared.coreName(),
 		fmt.Sprintf("limit=%d", *limit), fmt.Sprintf("regs=%d", *regs))
 	if err != nil {
 		return err
@@ -549,6 +624,9 @@ func cmdAblation(args []string, stderr io.Writer) error {
 		return err
 	}
 
+	if err := shared.requireMicroRV32("ablation", stderr); err != nil {
+		return err
+	}
 	common, finish, err := shared.build("ablation", stderr, "kind="+*kind)
 	if err != nil {
 		return err
@@ -599,6 +677,9 @@ func cmdBaseline(args []string, stderr io.Writer) error {
 			return badUsage(stderr, "%v", err)
 		}
 	}
+	if err := shared.requireMicroRV32("baseline", stderr); err != nil {
+		return err
+	}
 	common, finish, err := shared.build("baseline", stderr, "faults="+*faultsArg)
 	if err != nil {
 		return err
@@ -624,9 +705,9 @@ func cmdBaseline(args []string, stderr io.Writer) error {
 func cmdReplay(args []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("replay", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	faultArg := fs.String("fault", "", "fault to inject (E0..E9); empty = none")
+	faultArg := fs.String("fault", "", "fault to inject (E0..E14); empty = none")
 	limit := fs.Int("limit", 1, "instruction limit")
-	shipped := fs.Bool("shipped", false, "use the as-shipped core and VP")
+	shipped := fs.Bool("shipped", false, "use the as-shipped core and VP (microrv32 only)")
 	cycleTrace := fs.Bool("cycle-trace", false, "print a per-cycle execution trace")
 	shared := sharedGroup(fs)
 	if err := parseFlags(fs, args); err != nil {
@@ -649,37 +730,45 @@ func cmdReplay(args []string, stderr io.Writer) error {
 		return badUsage(stderr, "replay: no test-vector assignments given")
 	}
 
-	coreCfg := microrv32.FixedConfig()
-	issCfg := iss.FixedConfig()
-	if *shipped {
-		coreCfg = microrv32.ShippedConfig()
-		issCfg = iss.VPConfig()
-	}
+	var fv []faults.Fault
 	if *faultArg != "" {
-		fv, err := parseFaults(*faultArg)
-		if err != nil {
+		var err error
+		if fv, err = parseFaults(*faultArg); err != nil {
 			return badUsage(stderr, "%v", err)
 		}
-		coreCfg.Faults = faults.Of(fv...)
 	}
-	common, finish, err := shared.build("replay", stderr,
+	if k, ok := cosim.ParseCoreKind(*shared.core); ok && k == cosim.CorePipecore && *shipped {
+		return badUsage(stderr, "-shipped is microrv32-only (pipecore has no as-shipped variant)")
+	}
+	common, finish, err := shared.build("replay", stderr, "core="+shared.coreName(),
 		fmt.Sprintf("shipped=%v", *shipped), "fault="+*faultArg, fmt.Sprintf("limit=%d", *limit))
 	if err != nil {
 		return err
 	}
-	cfg := cosim.Config{ISS: issCfg, Core: coreCfg, InstrLimit: *limit, Pin: vector}
+	cfg := cosim.Config{ISS: iss.FixedConfig(), InstrLimit: *limit, Pin: vector, DUTCore: common.Core}
+	if common.Core == cosim.CorePipecore {
+		cfg.Pipe = pipecore.Config{Faults: faults.Of(fv...)}
+	} else {
+		coreCfg := microrv32.FixedConfig()
+		if *shipped {
+			coreCfg = microrv32.ShippedConfig()
+			cfg.ISS = iss.VPConfig()
+		}
+		coreCfg.Faults = faults.Of(fv...)
+		cfg.Core = coreCfg
+	}
 	if *cycleTrace {
 		cfg.Trace = os.Stdout
 	}
 	// A fully pinned vector collapses to one path; 16 bounds partial vectors.
 	rep := harness.ExploreWith(cosim.RunFunc(cfg), harness.ExploreOptions{
 		Common: common,
-		Core:   core.Options{StopOnFirstFinding: true, MaxPaths: 16},
+		Opts:   core.Options{StopOnFirstFinding: true, MaxPaths: 16},
 	})
-	var m *cosim.Mismatch
+	var m *rvfi.Mismatch
 	if len(rep.Findings) > 0 {
 		var ok bool
-		if m, ok = rep.Findings[0].Err.(*cosim.Mismatch); !ok {
+		if m, ok = rep.Findings[0].Err.(*rvfi.Mismatch); !ok {
 			return rep.Findings[0].Err
 		}
 	}
@@ -751,6 +840,9 @@ func cmdBench(args []string, stderr io.Writer) error {
 		return err
 	}
 
+	if err := shared.requireMicroRV32("bench", stderr); err != nil {
+		return err
+	}
 	common, finish, err := shared.build("bench", stderr)
 	if err != nil {
 		return err
@@ -992,7 +1084,7 @@ func parseFaults(s string) ([]faults.Fault, error) {
 			}
 		}
 		if !found {
-			return nil, fmt.Errorf("unknown fault %q (want E0..E9)", part)
+			return nil, fmt.Errorf("unknown fault %q (want E0..E14)", part)
 		}
 	}
 	return out, nil
@@ -1019,14 +1111,20 @@ func sortedKeys(m map[string]uint64) []string {
 func cmdLintTable(args []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lint-table", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	coreFlag := fs.String("core", "microrv32", "decode table to verify: microrv32 | pipecore | both")
 	verbose := fs.Bool("v", false, "print the full report for every configuration")
-	jsonOut := fs.Bool("json", false, "emit machine-readable JSON instead of the report")
+	shared := sharedGroup(fs)
+	shared.allowBothCores = true
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
+	_, finish, err := shared.build("lint-table", stderr,
+		"core="+strings.Join(shared.lintCores(), "+"))
+	if err != nil {
+		return err
+	}
+	jsonOut := shared.jsonOut
 	var reps []*decodecheck.Report
-	for _, name := range harness.LintDUTCores(*coreFlag) {
+	for _, name := range shared.lintCores() {
 		switch name {
 		case "microrv32", "pipecore":
 			reps = append(reps, decodecheck.CheckAllFor(decodecheck.CoreKind(name))...)
@@ -1053,6 +1151,9 @@ func cmdLintTable(args []string, stderr io.Writer) error {
 			fail++
 		}
 	}
+	if err := finish(); err != nil {
+		return err
+	}
 	if fail > 0 {
 		return fmt.Errorf("lint-table: %d configuration(s) failed", fail)
 	}
@@ -1068,7 +1169,6 @@ func cmdLintTable(args []string, stderr io.Writer) error {
 func cmdLintDUT(args []string, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lint-dut", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	coreFlag := fs.String("core", "both", "core to lint: microrv32 | pipecore | both")
 	allowPath := fs.String("allowlist", "LINTDUT.allow",
 		"allowlist of intentional findings (\"\" lints with no allowlist; the default is optional, an explicit file must exist)")
 	satProbe := fs.Bool("sat-probe", false, "SAT-probe decode-arm selectability (bounded; off by default)")
@@ -1078,12 +1178,14 @@ func cmdLintDUT(args []string, stderr io.Writer) error {
 	maxTime := fs.Duration("time", 0, "exploration wall-clock bound (0 = unlimited)")
 	verbose := fs.Bool("v", false, "print the per-observable cone-of-influence breakdown")
 	shared := sharedGroup(fs)
+	shared.allowBothCores = true
 	if err := parseFlags(fs, args); err != nil {
 		return err
 	}
 
 	common, finish, err := shared.build("lint-dut", stderr,
-		"core="+*coreFlag, fmt.Sprintf("regs=%d", *numRegs), fmt.Sprintf("satprobe=%v", *satProbe))
+		"core="+strings.Join(shared.lintCores(), "+"),
+		fmt.Sprintf("regs=%d", *numRegs), fmt.Sprintf("satprobe=%v", *satProbe))
 	if err != nil {
 		return err
 	}
@@ -1104,7 +1206,7 @@ func cmdLintDUT(args []string, stderr io.Writer) error {
 	}
 
 	fail := 0
-	for _, name := range harness.LintDUTCores(*coreFlag) {
+	for _, name := range shared.lintCores() {
 		rep := harness.LintDUT(name, harness.LintDUTOptions{
 			Common:            common,
 			NumRegs:           *numRegs,

@@ -44,7 +44,12 @@ func TestRunUsageErrors(t *testing.T) {
 		{"bad -portfolio toggle", []string{"hunt", "-portfolio", "maybe"}, "bad -portfolio"},
 		{"bad -workers value", []string{"hunt", "-workers", "three"}, "invalid value"},
 
-		{"table2 unknown dut", []string{"table2", "-dut", "bogus"}, "unknown DUT"},
+		{"bad -core value", []string{"hunt", "-core", "bogus"}, "bad -core"},
+		{"table2 unknown dut", []string{"table2", "-dut", "bogus"}, "bad -dut"},
+		{"table2 dut/core conflict", []string{"table2", "-dut", "pipeline", "-core", "microrv32"}, "conflicts"},
+		{"ablation is microrv32-only", []string{"ablation", "-core", "pipecore"}, "supports only -core microrv32"},
+		{"hunt -shipped pipecore", []string{"hunt", "-core", "pipecore", "-shipped"}, "microrv32-only"},
+		{"hunt -mie-bug pipecore", []string{"hunt", "-core", "pipecore", "-mie-bug"}, "microrv32-only"},
 		{"table2 bad limits", []string{"table2", "-limits", "1,x"}, "bad -limits"},
 		{"table2 unknown fault", []string{"table2", "-faults", "E99"}, "unknown fault"},
 		{"hunt unknown fault", []string{"hunt", "-fault", "E99"}, "unknown fault"},
@@ -62,7 +67,7 @@ func TestRunUsageErrors(t *testing.T) {
 		{"cache unknown op", []string{"cache", "frobnicate"}, "unknown operation"},
 		{"cache missing store", []string{"cache", "stats"}, "-store DIR is required"},
 
-		{"lint-table unknown core", []string{"lint-table", "-core", "bogus"}, "unknown core"},
+		{"lint-table unknown core", []string{"lint-table", "-core", "bogus"}, "bad -core"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

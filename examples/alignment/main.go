@@ -18,6 +18,7 @@ import (
 	"symriscv/internal/iss"
 	"symriscv/internal/microrv32"
 	"symriscv/internal/riscv"
+	"symriscv/internal/rvfi"
 )
 
 func main() {
@@ -43,7 +44,7 @@ func main() {
 
 	seen := map[string]bool{}
 	for _, f := range rep.Findings {
-		var m *cosim.Mismatch
+		var m *rvfi.Mismatch
 		if !errors.As(f.Err, &m) {
 			continue
 		}

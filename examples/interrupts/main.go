@@ -21,6 +21,7 @@ import (
 	"symriscv/internal/iss"
 	"symriscv/internal/microrv32"
 	"symriscv/internal/riscv"
+	"symriscv/internal/rvfi"
 )
 
 func config() cosim.Config {
@@ -52,7 +53,7 @@ func main() {
 	if len(rep.Findings) == 0 {
 		log.Fatal("fault not found")
 	}
-	var m *cosim.Mismatch
+	var m *rvfi.Mismatch
 	if !errors.As(rep.Findings[0].Err, &m) {
 		log.Fatalf("unexpected finding: %v", rep.Findings[0].Err)
 	}

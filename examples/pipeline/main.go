@@ -22,6 +22,7 @@ import (
 	"symriscv/internal/iss"
 	"symriscv/internal/pipecore"
 	"symriscv/internal/riscv"
+	"symriscv/internal/rvfi"
 )
 
 func pipelineConfig(f faults.Set) cosim.Config {
@@ -49,7 +50,7 @@ func main() {
 	if len(rep.Findings) == 0 {
 		log.Fatalf("E0 not found: %v", rep.Stats)
 	}
-	var m *cosim.Mismatch
+	var m *rvfi.Mismatch
 	if !errors.As(rep.Findings[0].Err, &m) {
 		log.Fatalf("unexpected finding: %v", rep.Findings[0].Err)
 	}

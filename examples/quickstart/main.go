@@ -17,6 +17,7 @@ import (
 	"symriscv/internal/faults"
 	"symriscv/internal/iss"
 	"symriscv/internal/microrv32"
+	"symriscv/internal/rvfi"
 )
 
 func main() {
@@ -45,7 +46,7 @@ func main() {
 		log.Fatalf("no mismatch found: %v", rep.Stats)
 	}
 
-	var m *cosim.Mismatch
+	var m *rvfi.Mismatch
 	if !errors.As(rep.Findings[0].Err, &m) {
 		log.Fatalf("unexpected finding type: %v", rep.Findings[0].Err)
 	}

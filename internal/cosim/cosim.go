@@ -2,8 +2,8 @@
 // paper (§IV): it instantiates the RTL core and the reference ISS over one
 // engine, supplies both with identical symbolic instructions and data,
 // installs the sliced symbolic registers, clocks the core while servicing
-// its buses, steps the ISS at every retirement, and lets the voter search for
-// satisfiable architectural differences.
+// its buses, steps the ISS at every retirement, and lets the rvfi checker
+// search for satisfiable architectural differences.
 package cosim
 
 import (
@@ -14,6 +14,7 @@ import (
 	"symriscv/internal/iss"
 	"symriscv/internal/microrv32"
 	"symriscv/internal/obs"
+	"symriscv/internal/pipecore"
 	"symriscv/internal/riscv"
 	"symriscv/internal/rtl"
 	"symriscv/internal/rvfi"
@@ -21,25 +22,57 @@ import (
 )
 
 // DUT is the device-under-test contract the testbench drives: a clocked,
-// bus-accurate core model with an RVFI retirement port. internal/microrv32
-// (the MicroRV32 role) and internal/pipecore (a pipelined second core) both
-// satisfy it.
-type DUT interface {
-	Step(rtl.IBusResponse, rtl.DBusResponse) (rtl.IBusRequest, rtl.DBusRequest)
-	Retirement() *rvfi.Retirement
-	SetPC(pc uint32)
-	SetReg(i int, v *smt.Term)
+// bus-accurate core model with an RVFI retirement port (the canonical
+// contract lives in rvfi). internal/microrv32 (the MicroRV32 role) and
+// internal/pipecore (a pipelined second core) both satisfy it.
+type DUT = rvfi.Port
+
+// CoreKind names a built-in device under test.
+type CoreKind string
+
+// Built-in cores.
+const (
+	// CoreMicroRV32 is the multi-cycle FSM core (the paper's case study).
+	CoreMicroRV32 CoreKind = "microrv32"
+	// CorePipecore is the fetch-overlapped pipelined core.
+	CorePipecore CoreKind = "pipecore"
+)
+
+// ParseCoreKind maps a user-facing core name to its CoreKind. The empty
+// string selects the default core (microrv32); "pipeline" is accepted as a
+// legacy spelling of pipecore.
+func ParseCoreKind(s string) (CoreKind, bool) {
+	switch s {
+	case "", "microrv32":
+		return CoreMicroRV32, true
+	case "pipecore", "pipeline":
+		return CorePipecore, true
+	}
+	return "", false
+}
+
+func (k CoreKind) String() string {
+	if k == "" {
+		return string(CoreMicroRV32)
+	}
+	return string(k)
 }
 
 // Config describes one co-simulation scenario.
 type Config struct {
 	// ISS selects the reference-model behaviour (default: as-shipped VP).
 	ISS iss.Config
+	// DUTCore selects the built-in device under test (default: microrv32).
+	// NewDUT, when set, overrides it.
+	DUTCore CoreKind
 	// Core selects the DUT behaviour (shipped bugs and/or injected faults)
-	// of the default MicroRV32 model.
+	// of the MicroRV32 model; used when DUTCore selects it.
 	Core microrv32.Config
-	// NewDUT overrides the device under test (default: a MicroRV32 core
-	// built from the Core field).
+	// Pipe selects the DUT behaviour (injected faults) of the pipelined
+	// model; used when DUTCore is CorePipecore.
+	Pipe pipecore.Config
+	// NewDUT overrides the device under test (default: the DUTCore-selected
+	// built-in core).
 	NewDUT func(eng *core.Engine) DUT
 
 	// NumSymbolicRegs is the size of the symbolic register slice (x1..xN
@@ -123,7 +156,7 @@ type runState struct {
 	dmemISS  *SymbolicDMem
 	dut      DUT
 	ref      *iss.ISS
-	voter    *Voter
+	checker  *rvfi.Checker
 	irq      *IrqLine
 
 	ib      rtl.IBusResponse
@@ -156,9 +189,12 @@ func newRunState(eng *core.Engine, cfg Config) *runState {
 	rs.dmemRTL = NewSymbolicDMem(ctx, rs.initPool)
 	rs.dmemISS = NewSymbolicDMem(ctx, rs.initPool)
 
-	if cfg.NewDUT != nil {
+	switch {
+	case cfg.NewDUT != nil:
 		rs.dut = cfg.NewDUT(eng)
-	} else {
+	case cfg.DUTCore == CorePipecore:
+		rs.dut = pipecore.New(eng, cfg.Pipe)
+	default:
 		rs.dut = microrv32.New(eng, cfg.Core)
 	}
 	rs.ref = iss.New(eng, rs.imem, rs.dmemISS, cfg.ISS)
@@ -199,7 +235,7 @@ func newRunState(eng *core.Engine, cfg Config) *runState {
 		rs.ref.SetCSR(riscv.CSRMIe, mie)
 	}
 
-	rs.voter = NewVoter(eng)
+	rs.checker = rvfi.NewChecker(eng)
 	if _, ok := rs.dut.(DUTSnapshotter); ok && cfg.Trace == nil {
 		rs.captureFn = rs.capture
 	}
@@ -261,7 +297,7 @@ func (rs *runState) loop() error {
 			issSp := h.Start(obs.PhaseISSStep)
 			res := rs.ref.Step()
 			issSp.End()
-			if m := rs.voter.Compare(ret, res); m != nil {
+			if m := rs.checker.Compare(ret, res); m != nil {
 				if cfg.Trace != nil {
 					fmt.Fprintf(cfg.Trace, "cycle %3d  VOTER MISMATCH: %v\n", cycles, m)
 				}
@@ -292,7 +328,7 @@ func RunFunc(cfg Config) core.RunFunc {
 
 // IrqAware is satisfied by DUTs that model the external interrupt line.
 type IrqAware interface {
-	SetIrqSource(src microrv32.IrqSource)
+	SetIrqSource(src rvfi.IrqSource)
 }
 
 // CSRInitializer is satisfied by DUTs whose CSR storage the testbench can
@@ -346,18 +382,18 @@ func pinFilter(pin smt.MapEnv) InstrFilter {
 
 // Replay re-executes the co-simulation with every symbolic input pinned to
 // the given test vector (a Finding's Inputs or a TestVector's Inputs). It
-// returns the voter's mismatch, or nil if the vector reproduces no
+// returns the checker's mismatch, or nil if the vector reproduces no
 // difference. Inputs absent from the vector default to zero via Pin
 // semantics only when they were recorded; unrecorded inputs stay free, so a
 // complete vector yields exactly one path.
-func Replay(cfg Config, vector smt.MapEnv) (*Mismatch, error) {
+func Replay(cfg Config, vector smt.MapEnv) (*rvfi.Mismatch, error) {
 	cfg.Pin = vector
 	x := core.NewExplorer(RunFunc(cfg))
 	rep := x.Explore(core.Options{StopOnFirstFinding: true, MaxPaths: 16})
 	if len(rep.Findings) == 0 {
 		return nil, nil
 	}
-	if m, ok := rep.Findings[0].Err.(*Mismatch); ok {
+	if m, ok := rep.Findings[0].Err.(*rvfi.Mismatch); ok {
 		return m, nil
 	}
 	return nil, rep.Findings[0].Err

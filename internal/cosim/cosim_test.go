@@ -11,6 +11,7 @@ import (
 	"symriscv/internal/iss"
 	"symriscv/internal/microrv32"
 	"symriscv/internal/riscv"
+	"symriscv/internal/rvfi"
 	"symriscv/internal/smt"
 )
 
@@ -101,14 +102,14 @@ func TestFaultE6Found(t *testing.T) {
 	if len(rep.Findings) != 1 {
 		t.Fatalf("E6 not found: %v", rep.Stats)
 	}
-	var m *Mismatch
+	var m *rvfi.Mismatch
 	if !errors.As(rep.Findings[0].Err, &m) {
 		t.Fatalf("finding is not a Mismatch: %v", rep.Findings[0].Err)
 	}
 	if riscv.Decode(m.Insn).Mn != riscv.InsBNE {
 		t.Fatalf("witness %s is not a BNE", m.Disasm)
 	}
-	if m.Kind != PCMismatch {
+	if m.Kind != rvfi.PCMismatch {
 		t.Fatalf("kind = %v, want pc-mismatch", m.Kind)
 	}
 	t.Logf("E6 witness: %s (pc rtl=%#x iss=%#x) after %v", m.Disasm, m.RTLNext, m.ISSNext, rep.Stats)
@@ -125,7 +126,7 @@ func TestFaultE3Found(t *testing.T) {
 	if len(rep.Findings) != 1 {
 		t.Fatalf("E3 not found: %v", rep.Stats)
 	}
-	var m *Mismatch
+	var m *rvfi.Mismatch
 	errors.As(rep.Findings[0].Err, &m)
 	if riscv.Decode(m.Insn).Mn != riscv.InsADDI {
 		t.Fatalf("witness %s is not an ADDI", m.Disasm)
@@ -150,9 +151,9 @@ func TestMisalignmentMismatch(t *testing.T) {
 	if len(rep.Findings) != 1 {
 		t.Fatalf("misalignment mismatch not found: %v", rep.Stats)
 	}
-	var m *Mismatch
+	var m *rvfi.Mismatch
 	errors.As(rep.Findings[0].Err, &m)
-	if m.Kind != TrapMismatch {
+	if m.Kind != rvfi.TrapMismatch {
 		t.Fatalf("kind = %v, want trap-mismatch (%s)", m.Kind, m.Detail)
 	}
 	if !m.ISSTrap || m.RTLTrap {
@@ -176,9 +177,9 @@ func TestWFIMismatch(t *testing.T) {
 	if len(rep.Findings) != 1 {
 		t.Fatalf("WFI error not found: %v", rep.Stats)
 	}
-	var m *Mismatch
+	var m *rvfi.Mismatch
 	errors.As(rep.Findings[0].Err, &m)
-	if m.Kind != TrapMismatch || !m.RTLTrap || m.ISSTrap {
+	if m.Kind != rvfi.TrapMismatch || !m.RTLTrap || m.ISSTrap {
 		t.Fatalf("expected RTL-only trap, got %v (rtl=%v iss=%v)", m.Kind, m.RTLTrap, m.ISSTrap)
 	}
 }
@@ -194,7 +195,7 @@ func TestReplayReproducesFinding(t *testing.T) {
 		if len(rep.Findings) != 1 {
 			t.Fatalf("%s: hunt found nothing", f)
 		}
-		var m *Mismatch
+		var m *rvfi.Mismatch
 		if !errors.As(rep.Findings[0].Err, &m) {
 			t.Fatalf("%s: not a mismatch", f)
 		}
@@ -371,11 +372,11 @@ func TestInterruptMIEBugFound(t *testing.T) {
 	if len(rep.Findings) != 1 {
 		t.Fatalf("MIE bug not found: %v", rep.Stats)
 	}
-	var m *Mismatch
+	var m *rvfi.Mismatch
 	if !errors.As(rep.Findings[0].Err, &m) {
 		t.Fatalf("finding type: %v", rep.Findings[0].Err)
 	}
-	if m.Kind != PCMismatch {
+	if m.Kind != rvfi.PCMismatch {
 		t.Fatalf("kind = %v (%s), want pc-mismatch", m.Kind, m.Detail)
 	}
 	// The witness must demonstrate the bug: irq asserted, MEIE set, MIE clear.

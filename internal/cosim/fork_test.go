@@ -9,6 +9,7 @@ import (
 	"symriscv/internal/core"
 	"symriscv/internal/iss"
 	"symriscv/internal/pipecore"
+	"symriscv/internal/rvfi"
 )
 
 // deterministic is the slice of a Stats that the report contract pins
@@ -32,7 +33,7 @@ func detOf(s core.Stats) deterministic {
 // mismatch kind for voter findings, the full text otherwise.
 func findingClass(t *testing.T, err error) string {
 	t.Helper()
-	var m *Mismatch
+	var m *rvfi.Mismatch
 	if errors.As(err, &m) {
 		return m.Kind.String()
 	}
@@ -110,6 +111,21 @@ func TestForkReplayEquivalence(t *testing.T) {
 		}, limit: 1, opts: core.Options{MaxPaths: 80}},
 		{name: "pipecore", cfg: pipe, limit: 1,
 			opts: core.Options{MaxPaths: 100, GenerateTests: true}},
+		// pipecore + symbolic interrupts exercises the pipeline snapshot's
+		// interrupt-source rebinding on resume; the nocache twin pins the
+		// same report with the query cache off.
+		{name: "pipecore-irq", cfg: func() Config {
+			cfg := pipe()
+			cfg.SymbolicInterrupts = true
+			cfg.StartPC = 0x100
+			return cfg
+		}, limit: 1, opts: core.Options{MaxPaths: 80}},
+		{name: "pipecore-irq-nocache", cfg: func() Config {
+			cfg := pipe()
+			cfg.SymbolicInterrupts = true
+			cfg.StartPC = 0x100
+			return cfg
+		}, limit: 1, noCache: true, opts: core.Options{MaxPaths: 80}},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -140,6 +156,42 @@ func TestForkReplayEquivalence(t *testing.T) {
 			}
 			t.Logf("%s: paths=%d resumes=%d events-saved=%d",
 				tc.name, on.Stats.Paths, on.Stats.ForkResumes, on.Stats.ReplayEventsSaved)
+		})
+	}
+}
+
+// TestInterruptCacheEquivalence pins the other toggle of the determinism
+// contract for interrupt delivery: on both cores, the deterministic report
+// surface of an interrupt-enabled run must be identical with the query cache
+// on and off.
+func TestInterruptCacheEquivalence(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  func() Config
+	}{
+		{name: "microrv32", cfg: matchedConfig},
+		{name: "pipecore", cfg: func() Config {
+			return Config{
+				ISS:     iss.FixedConfig(),
+				Filter:  BlockSystemInstructions,
+				DUTCore: CorePipecore,
+			}
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := tc.cfg()
+			cfg.SymbolicInterrupts = true
+			cfg.StartPC = 0x100
+			cfg.InstrLimit = 1
+			run := RunFunc(cfg)
+			leg := func(noCache bool) *core.Report {
+				return core.NewExplorer(run).Explore(core.Options{
+					MaxPaths: 60, MaxTime: 120 * time.Second, NoQueryCache: noCache,
+				})
+			}
+			requireSameReport(t, leg(false), leg(true))
 		})
 	}
 }

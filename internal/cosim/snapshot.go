@@ -5,6 +5,7 @@ import (
 	"symriscv/internal/cow"
 	"symriscv/internal/iss"
 	"symriscv/internal/rtl"
+	"symriscv/internal/rvfi"
 	"symriscv/internal/smt"
 )
 
@@ -101,7 +102,7 @@ func (s *cosimSnapshot) resume(eng *core.Engine) error {
 	}
 	rs.dut = s.dut(eng, irqForDUT).(DUT)
 	rs.ref = s.ref(eng, rs.imem, rs.dmemISS, irqForISS)
-	rs.voter = NewVoter(eng)
+	rs.checker = rvfi.NewChecker(eng)
 	rs.captureFn = rs.capture
 	return rs.loop()
 }

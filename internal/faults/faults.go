@@ -1,7 +1,9 @@
-// Package faults defines the ten injectable RTL errors E0–E9 of the paper's
-// performance evaluation (§V-B). Each fault targets one microarchitectural
-// point of the MicroRV32 core model; internal/microrv32 consults the active
-// Set at those points.
+// Package faults defines the injectable RTL errors of the performance
+// evaluation: E0–E9 are the paper's ten errors (§V-B), each targeting one
+// microarchitectural point shared by both core models; E10–E14 are the
+// hazard/forwarding/control series specific to the pipelined core.
+// internal/microrv32 and internal/pipecore consult the active Set at those
+// points.
 package faults
 
 import "fmt"
@@ -35,22 +37,43 @@ const (
 	E8
 	// E9 makes LW load only the lower 16 bits from memory.
 	E9
+	// E10 drops the rs1 writeback bypass in the pipelined core: a value
+	// written back on the previous cycle is not yet visible on the register
+	// read port, so a back-to-back consumer reads the stale rs1 operand.
+	E10
+	// E11 drops the rs2 writeback bypass (the rs2 twin of E10).
+	E11
+	// E12 drops the wrong-path squash on a taken redirect: the speculatively
+	// fetched fall-through instruction executes and retires anyway.
+	E12
+	// E13 mis-latches the redirect target: the front end resumes fetching at
+	// target+4 after a taken branch/jump/trap.
+	E13
+	// E14 rolls the destination-register write back when the retiring
+	// instruction redirects the front end (the flush erases a committed
+	// writeback, e.g. the link register of a JAL).
+	E14
 	NumFaults // sentinel
 )
 
-var faultNames = [NumFaults]string{"E0", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9"}
+var faultNames = [NumFaults]string{"E0", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
 
 var faultDescs = [NumFaults]string{
-	E0: "SLLI decode don't-care at bit 25 (reserved RV64 encoding accepted)",
-	E1: "SRLI decode don't-care at bit 25 (reserved RV64 encoding accepted)",
-	E2: "SRAI decode don't-care at bit 25 (reserved RV64 encoding accepted)",
-	E3: "ADDI result bit 0 stuck-at-0",
-	E4: "SUB result bit 31 stuck-at-0",
-	E5: "JAL does not change the PC",
-	E6: "BNE behaves like BEQ",
-	E7: "LBU byte-lane endianness flipped",
-	E8: "LB missing sign extension",
-	E9: "LW loads only the lower 16 bits",
+	E0:  "SLLI decode don't-care at bit 25 (reserved RV64 encoding accepted)",
+	E1:  "SRLI decode don't-care at bit 25 (reserved RV64 encoding accepted)",
+	E2:  "SRAI decode don't-care at bit 25 (reserved RV64 encoding accepted)",
+	E3:  "ADDI result bit 0 stuck-at-0",
+	E4:  "SUB result bit 31 stuck-at-0",
+	E5:  "JAL does not change the PC",
+	E6:  "BNE behaves like BEQ",
+	E7:  "LBU byte-lane endianness flipped",
+	E8:  "LB missing sign extension",
+	E9:  "LW loads only the lower 16 bits",
+	E10: "writeback bypass dropped on rs1 (stale operand on back-to-back use)",
+	E11: "writeback bypass dropped on rs2 (stale operand on back-to-back use)",
+	E12: "wrong-path squash dropped (speculative fall-through retires)",
+	E13: "redirect target mis-latched (front end resumes at target+4)",
+	E14: "flush rolls back the retiring instruction's register writeback",
 }
 
 func (f Fault) String() string {
@@ -73,6 +96,26 @@ func All() []Fault {
 	out := make([]Fault, NumFaults)
 	for i := range out {
 		out[i] = Fault(i)
+	}
+	return out
+}
+
+// Base returns the paper's E0–E9 series — the faults meaningful to every
+// core model (the microrv32 campaign default).
+func Base() []Fault {
+	out := make([]Fault, 0, 10)
+	for f := E0; f <= E9; f++ {
+		out = append(out, f)
+	}
+	return out
+}
+
+// Pipeline returns the E10–E14 hazard/forwarding/control series, meaningful
+// only to the pipelined core.
+func Pipeline() []Fault {
+	out := make([]Fault, 0, 5)
+	for f := E10; f <= E14; f++ {
+		out = append(out, f)
 	}
 	return out
 }

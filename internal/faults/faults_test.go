@@ -24,8 +24,14 @@ func TestSetOperations(t *testing.T) {
 
 func TestAllAndNames(t *testing.T) {
 	all := All()
-	if len(all) != int(NumFaults) || len(all) != 10 {
-		t.Fatalf("All() = %d faults, want 10", len(all))
+	if len(all) != int(NumFaults) || len(all) != 15 {
+		t.Fatalf("All() = %d faults, want 15", len(all))
+	}
+	if base := Base(); len(base) != 10 || base[0] != E0 || base[9] != E9 {
+		t.Fatalf("Base() = %v, want E0..E9", base)
+	}
+	if pipe := Pipeline(); len(pipe) != 5 || pipe[0] != E10 || pipe[4] != E14 {
+		t.Fatalf("Pipeline() = %v, want E10..E14", pipe)
 	}
 	seen := map[string]bool{}
 	for _, f := range all {

@@ -22,6 +22,7 @@ import (
 	"symriscv/internal/core"
 	"symriscv/internal/cosim"
 	"symriscv/internal/riscv"
+	"symriscv/internal/rvfi"
 )
 
 // Strategy selects the input generator.
@@ -58,7 +59,7 @@ type Result struct {
 	Trials   int
 	Instr    uint64 // executed instructions across all trials
 	Elapsed  time.Duration
-	Mismatch *cosim.Mismatch
+	Mismatch *rvfi.Mismatch
 }
 
 // validMnemonics lists the generator's instruction constructors for
@@ -159,7 +160,7 @@ func (c *Campaign) Run(maxTrials int, budget time.Duration) Result {
 		res.Instr += rep.Stats.Instructions
 		if len(rep.Findings) > 0 {
 			res.Found = true
-			if m, ok := rep.Findings[0].Err.(*cosim.Mismatch); ok {
+			if m, ok := rep.Findings[0].Err.(*rvfi.Mismatch); ok {
 				res.Mismatch = m
 			}
 			break

@@ -7,6 +7,7 @@ import (
 	"symriscv/internal/core"
 	"symriscv/internal/cosim"
 	"symriscv/internal/riscv"
+	"symriscv/internal/rvfi"
 )
 
 // MutationCampaign is the coverage-guided fuzzing baseline in the spirit of
@@ -78,7 +79,7 @@ func (c *MutationCampaign) Run(maxTrials int, budget time.Duration) Result {
 		res.Instr += rep.Stats.Instructions
 		if len(rep.Findings) > 0 {
 			res.Found = true
-			if m, ok := rep.Findings[0].Err.(*cosim.Mismatch); ok {
+			if m, ok := rep.Findings[0].Err.(*rvfi.Mismatch); ok {
 				res.Mismatch = m
 			}
 			break

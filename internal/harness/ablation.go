@@ -96,17 +96,6 @@ func RegAblation(opt RegAblationOptions) *AblationResult {
 	return res
 }
 
-// RunRegSliceAblation runs the sliced-register ablation with positional
-// budgets.
-//
-// Deprecated: use RegAblation, which takes the shared Common options.
-func RunRegSliceAblation(regCounts []int, perPointBudget time.Duration, maxPaths, workers int) *AblationResult {
-	return RegAblation(RegAblationOptions{
-		Common:    Common{Workers: workers, Budget: perPointBudget, MaxPaths: maxPaths},
-		RegCounts: regCounts,
-	})
-}
-
 // Format renders the ablation table.
 func (r *AblationResult) Format() string {
 	var b strings.Builder
@@ -173,17 +162,6 @@ func LimitAblation(opt LimitAblationOptions) []LimitAblationPoint {
 		})
 	}
 	return out
-}
-
-// RunLimitAblation runs the instruction-limit ablation with positional
-// budgets.
-//
-// Deprecated: use LimitAblation, which takes the shared Common options.
-func RunLimitAblation(limits []int, perPointBudget time.Duration, maxPaths, workers int) []LimitAblationPoint {
-	return LimitAblation(LimitAblationOptions{
-		Common: Common{Workers: workers, Budget: perPointBudget, MaxPaths: maxPaths},
-		Limits: limits,
-	})
 }
 
 // FormatLimitAblation renders the instruction-limit ablation table.

@@ -13,23 +13,9 @@ import (
 	"symriscv/internal/iss"
 	"symriscv/internal/microrv32"
 	"symriscv/internal/qstore"
+	"symriscv/internal/rvfi"
 	"symriscv/internal/sat"
 )
-
-// Ablate carries the query-elimination ablation toggles shared by the symv
-// subcommands (-cache=off disables the whole elimination layer, -rewrite=off
-// the extended term rewrites).
-type Ablate struct {
-	NoQueryCache   bool
-	NoTermRewrites bool
-}
-
-// apply copies the toggles onto an exploration's options.
-func (a Ablate) apply(o core.Options) core.Options {
-	o.NoQueryCache = a.NoQueryCache
-	o.NoTermRewrites = a.NoTermRewrites
-	return o
-}
 
 // BenchOptions configure the exploration benchmark (symv bench).
 type BenchOptions struct {
@@ -536,7 +522,7 @@ func runCacheAblation(opt BenchOptions) *BenchAblation {
 // mismatch classification for co-simulation voter findings, the rendered
 // error otherwise.
 func findingClass(err error) string {
-	var m *cosim.Mismatch
+	var m *rvfi.Mismatch
 	if errors.As(err, &m) {
 		return Classify(m).Key()
 	}

@@ -12,6 +12,7 @@ import (
 	"symriscv/internal/iss"
 	"symriscv/internal/microrv32"
 	"symriscv/internal/riscv"
+	"symriscv/internal/rvfi"
 )
 
 // Verdict is the R column of Table I.
@@ -35,14 +36,22 @@ type RowClass struct {
 // Key returns a dedupe key for the row.
 func (rc RowClass) Key() string { return rc.Subject + "|" + rc.Desc }
 
-// Classify maps a voter mismatch onto its Table I row identity, using the
-// witness instruction and both models' trap behaviour.
-func Classify(m *cosim.Mismatch) RowClass {
+// Classify maps a checker mismatch onto its Table I row identity for the
+// default microrv32 core, using the witness instruction and both models'
+// trap behaviour.
+func Classify(m *rvfi.Mismatch) RowClass { return ClassifyFor(cosim.CoreMicroRV32, m) }
+
+// ClassifyFor maps a checker mismatch onto its Table I row identity for the
+// given core. The row vocabulary is core-aware where the cores' feature sets
+// differ: the pipelined core implements no Zicsr or MRET, so its CSR and
+// MRET mismatches classify as missing-feature rows rather than per-CSR
+// behaviour bugs.
+func ClassifyFor(kind cosim.CoreKind, m *rvfi.Mismatch) RowClass {
 	in := riscv.Decode(m.Insn)
 
 	switch {
 	case in.Mn.IsLoad() || in.Mn.IsStore():
-		if m.Kind == cosim.TrapMismatch && m.ISSTrap && !m.RTLTrap {
+		if m.Kind == rvfi.TrapMismatch && m.ISSTrap && !m.RTLTrap {
 			return RowClass{strings.ToUpper(in.Mn.String()), "Missing alignment check", VerdictMismatch}
 		}
 		return RowClass{strings.ToUpper(in.Mn.String()), "Load/store result mismatch", VerdictMismatch}
@@ -50,17 +59,20 @@ func Classify(m *cosim.Mismatch) RowClass {
 	case in.Mn == riscv.InsWFI:
 		return RowClass{"WFI", "Missing WFI instruction", VerdictRTLError}
 
+	case in.Mn == riscv.InsMRET && kind == cosim.CorePipecore:
+		return RowClass{"MRET", "Missing MRET instruction", VerdictRTLError}
+
 	case in.Mn.IsCSR():
-		return classifyCSR(m, in)
+		return classifyCSR(kind, m, in)
 	}
 	return RowClass{strings.ToUpper(in.Mn.String()), m.Kind.String(), VerdictMismatch}
 }
 
-func classifyCSR(m *cosim.Mismatch, in riscv.Inst) RowClass {
+func classifyCSR(kind cosim.CoreKind, m *rvfi.Mismatch, in riscv.Inst) RowClass {
 	addr := in.CSR
 	name := riscv.CSRName(addr)
 	issHas := iss.ImplementsCSR(addr)
-	rtlHas := microrv32.ImplementsCSR(addr)
+	rtlHas := rtlImplementsCSR(kind, addr)
 
 	// Collapse the hpm register files into the paper's range rows.
 	switch {
@@ -70,6 +82,13 @@ func classifyCSR(m *cosim.Mismatch, in riscv.Inst) RowClass {
 		name = "mhpmcounter3-31h"
 	case addr >= riscv.CSRMHpmEventBase+3 && addr <= riscv.CSRMHpmEventBase+31:
 		name = "mhpmevent3-31"
+	}
+
+	if kind == cosim.CorePipecore {
+		// The pipelined core implements no Zicsr at all: every CSR access
+		// traps as illegal regardless of the address, so each probed CSR
+		// classifies as the same missing feature.
+		return RowClass{name, "unimpl. Zicsr (no CSR file)", VerdictMismatch}
 	}
 
 	switch {
@@ -113,4 +132,14 @@ func classifyCSR(m *cosim.Mismatch, in riscv.Inst) RowClass {
 			return RowClass{name, "CSR value mismatch", VerdictMismatch}
 		}
 	}
+}
+
+// rtlImplementsCSR reports whether the selected core implements the CSR.
+// The pipelined core has no CSR file; the microrv32 model answers from its
+// implemented set.
+func rtlImplementsCSR(kind cosim.CoreKind, addr uint16) bool {
+	if kind == cosim.CorePipecore {
+		return false
+	}
+	return microrv32.ImplementsCSR(addr)
 }

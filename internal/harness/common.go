@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"symriscv/internal/core"
+	"symriscv/internal/cosim"
 	"symriscv/internal/obs"
 	"symriscv/internal/parexplore"
 	"symriscv/internal/qstore"
@@ -45,6 +46,13 @@ type Common struct {
 	// contexts (see internal/parexplore); <= 1 explores sequentially.
 	// Reports are worker-count independent by construction.
 	Workers int
+	// Core selects the device under test for campaigns that support more
+	// than one ("" = the campaign's default, microrv32). It is the single
+	// core selector shared by every command (-core on the CLI).
+	Core cosim.CoreKind
+	// DeprecatedFlags lists deprecated command-line spellings used on this
+	// invocation (e.g. table2's -dut); Warnings surfaces one note per entry.
+	DeprecatedFlags []string
 	// Cache toggles the query-elimination layer (stack models, independence
 	// slicing, feasibility caching); Rewrite the extended term rewrites;
 	// Inprocess the SAT-core clause-database simplification.
@@ -121,6 +129,9 @@ func (c Common) explore(run core.RunFunc, o core.Options) *core.Report {
 // none of these change any report.
 func (c Common) Warnings() []string {
 	var ws []string
+	for _, f := range c.DeprecatedFlags {
+		ws = append(ws, f)
+	}
 	if c.Portfolio == On && c.Workers <= 1 {
 		ws = append(ws, "-portfolio=on has no effect with a single worker; set -workers=2 or more to diversify SAT heuristics")
 	}
@@ -142,26 +153,12 @@ func exploreWorkers(run core.RunFunc, opts core.Options, workers int) *core.Repo
 // ExploreOptions configure one direct exploration (symv hunt / replay).
 type ExploreOptions struct {
 	Common
-	// Core carries the exploration-specific options; the shared toggles,
+	// Opts carries the exploration-specific options; the shared toggles,
 	// budgets and observability sink are layered on top by Common.
-	Core core.Options
+	Opts core.Options
 }
 
-// ExploreWith runs one exploration under a single options struct — the
-// struct-options replacement for the positional Explore(run, opts, workers).
+// ExploreWith runs one exploration under a single options struct.
 func ExploreWith(run core.RunFunc, o ExploreOptions) *core.Report {
-	return o.explore(run, o.Core)
-}
-
-// common converts the legacy positional ablation toggles, for the deprecated
-// wrapper entrypoints.
-func (a Ablate) common(workers int) Common {
-	c := Common{Workers: workers}
-	if a.NoQueryCache {
-		c.Cache = Off
-	}
-	if a.NoTermRewrites {
-		c.Rewrite = Off
-	}
-	return c
+	return o.explore(run, o.Opts)
 }

@@ -96,7 +96,7 @@ func TestClassifierRowOrderCovers(t *testing.T) {
 }
 
 func TestLongRunSmoke(t *testing.T) {
-	res := RunLongRun(2*time.Second, 1, 2, 1, Ablate{})
+	res := LongRun(LongRunOptions{Common: Common{Workers: 1, Budget: 2 * time.Second}, InstrLimit: 1, NumRegs: 2})
 	if res.Report.Stats.Paths == 0 {
 		t.Fatal("long run explored no paths")
 	}
@@ -107,7 +107,7 @@ func TestLongRunSmoke(t *testing.T) {
 }
 
 func TestLimitAblationSmoke(t *testing.T) {
-	pts := RunLimitAblation([]int{1}, 5*time.Second, 200, 1)
+	pts := LimitAblation(LimitAblationOptions{Common: Common{Workers: 1, Budget: 5 * time.Second, MaxPaths: 200}, Limits: []int{1}})
 	if len(pts) != 1 || pts[0].Paths == 0 {
 		t.Fatalf("limit ablation broken: %+v", pts)
 	}
@@ -149,7 +149,7 @@ func TestBaselineComparison(t *testing.T) {
 // exhaustive one-instruction exploration must generate test vectors covering
 // (nearly) every RV32I+Zicsr mnemonic plus the illegal class.
 func TestLongRunCoverage(t *testing.T) {
-	res := RunLongRun(60*time.Second, 1, 2, 1, Ablate{})
+	res := LongRun(LongRunOptions{Common: Common{Workers: 1, Budget: 60 * time.Second}, InstrLimit: 1, NumRegs: 2})
 	if !res.Report.Exhausted {
 		t.Skip("exploration not exhausted within budget; coverage claim not assessable")
 	}
@@ -170,7 +170,7 @@ func TestLongRunCoverage(t *testing.T) {
 }
 
 func TestRegSliceAblationSmoke(t *testing.T) {
-	res := RunRegSliceAblation([]int{2, 4}, 10*time.Second, 400, 1)
+	res := RegAblation(RegAblationOptions{Common: Common{Workers: 1, Budget: 10 * time.Second, MaxPaths: 400}, RegCounts: []int{2, 4}})
 	if len(res.Points) != 2 {
 		t.Fatalf("points = %d", len(res.Points))
 	}

@@ -51,7 +51,7 @@ func TestStoreEquivalence(t *testing.T) {
 	key := qstore.VersionKey("test=store-equivalence")
 
 	// A: no store at all.
-	a := ExploreWith(run, ExploreOptions{Common: Common{Workers: 1}, Core: opts})
+	a := ExploreWith(run, ExploreOptions{Common: Common{Workers: 1}, Opts: opts})
 	wantKey := deterministicKey(t, a)
 
 	// B: cold store — populates it.
@@ -59,7 +59,7 @@ func TestStoreEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b := ExploreWith(run, ExploreOptions{Common: Common{Workers: 1, Store: sessB}, Core: opts})
+	b := ExploreWith(run, ExploreOptions{Common: Common{Workers: 1, Store: sessB}, Opts: opts})
 	if err := sessB.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +78,7 @@ func TestStoreEquivalence(t *testing.T) {
 	if st := sessC.Stats(); st.Loaded == 0 {
 		t.Fatalf("warm session loaded nothing: %+v", st)
 	}
-	c := ExploreWith(run, ExploreOptions{Common: Common{Workers: 1, Store: sessC}, Core: opts})
+	c := ExploreWith(run, ExploreOptions{Common: Common{Workers: 1, Store: sessC}, Opts: opts})
 	if err := sessC.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestStoreEquivalence(t *testing.T) {
 	if st := sessD.Stats(); st.CorruptRecords == 0 {
 		t.Fatalf("truncated segment not counted: %+v", st)
 	}
-	d := ExploreWith(run, ExploreOptions{Common: Common{Workers: 1, Store: sessD}, Core: opts})
+	d := ExploreWith(run, ExploreOptions{Common: Common{Workers: 1, Store: sessD}, Opts: opts})
 	if err := sessD.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -130,14 +130,14 @@ func TestStoreParallelEquivalence(t *testing.T) {
 	dir := t.TempDir()
 	key := qstore.VersionKey("test=store-parallel")
 
-	seq := ExploreWith(run, ExploreOptions{Common: Common{Workers: 1}, Core: opts})
+	seq := ExploreWith(run, ExploreOptions{Common: Common{Workers: 1}, Opts: opts})
 	wantKey := deterministicKey(t, seq)
 
 	sess, err := qstore.OpenSession(dir, key)
 	if err != nil {
 		t.Fatal(err)
 	}
-	warmup := ExploreWith(run, ExploreOptions{Common: Common{Workers: 1, Store: sess}, Core: opts})
+	warmup := ExploreWith(run, ExploreOptions{Common: Common{Workers: 1, Store: sess}, Opts: opts})
 	if got := deterministicKey(t, warmup); got != wantKey {
 		t.Fatalf("store warmup diverged:\n%s\nvs\n%s", got, wantKey)
 	}
@@ -149,7 +149,7 @@ func TestStoreParallelEquivalence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par := ExploreWith(run, ExploreOptions{Common: Common{Workers: 3, Store: sess2}, Core: opts})
+	par := ExploreWith(run, ExploreOptions{Common: Common{Workers: 3, Store: sess2}, Opts: opts})
 	if err := sess2.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -158,6 +158,89 @@ func TestStoreParallelEquivalence(t *testing.T) {
 	}
 	if par.Stats.Cache.StoreHits == 0 {
 		t.Fatal("warm parallel run reported no store hits")
+	}
+}
+
+// pipeStoreWorkload is the pipecore twin of storeWorkload.
+func pipeStoreWorkload() (core.RunFunc, core.Options) {
+	cfg := cosim.Config{
+		ISS:             iss.FixedConfig(),
+		Filter:          cosim.BlockSystemInstructions,
+		DUTCore:         cosim.CorePipecore,
+		InstrLimit:      1,
+		NumSymbolicRegs: 1,
+	}
+	return cosim.RunFunc(cfg), core.Options{MaxPaths: 120}
+}
+
+// TestStoreCoreSeparation pins the version-key contract of the -core flag:
+// store entries persisted for one DUT must never answer queries for the
+// other (the cores build different formulas, so a cross-core hit would be a
+// silent soundness hole). A directory warmed by a microrv32 campaign yields
+// zero store hits and an unchanged report for pipecore; reopening under the
+// microrv32 key still reuses the original entries.
+func TestStoreCoreSeparation(t *testing.T) {
+	microRun, microOpts := storeWorkload()
+	pipeRun, pipeOpts := pipeStoreWorkload()
+	dir := t.TempDir()
+	microKey := qstore.VersionKey("test=core-separation", "core=microrv32")
+	pipeKey := qstore.VersionKey("test=core-separation", "core=pipecore")
+
+	wantPipe := deterministicKey(t, ExploreWith(pipeRun,
+		ExploreOptions{Common: Common{Workers: 1}, Opts: pipeOpts}))
+	wantMicro := deterministicKey(t, ExploreWith(microRun,
+		ExploreOptions{Common: Common{Workers: 1}, Opts: microOpts}))
+
+	// Warm the shared directory from the microrv32 campaign.
+	warm, err := qstore.OpenSession(dir, microKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ExploreWith(microRun, ExploreOptions{Common: Common{Workers: 1, Store: warm}, Opts: microOpts})
+	if err := warm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if st := warm.Stats(); st.Persisted == 0 {
+		t.Fatalf("microrv32 warmup persisted nothing: %+v", st)
+	}
+
+	// The pipecore campaign over the same directory must skip those segments
+	// entirely: nothing loaded, nothing hit, report identical to store-less.
+	cross, err := qstore.OpenSession(dir, pipeKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cross.Stats(); st.Loaded != 0 || st.OtherSegments == 0 {
+		t.Fatalf("pipecore session sees microrv32 entries: %+v", st)
+	}
+	rep := ExploreWith(pipeRun, ExploreOptions{Common: Common{Workers: 1, Store: cross}, Opts: pipeOpts})
+	if err := cross.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Cache.StoreHits != 0 {
+		t.Fatalf("pipecore run hit microrv32 store entries %d times", rep.Stats.Cache.StoreHits)
+	}
+	if got := deterministicKey(t, rep); got != wantPipe {
+		t.Fatalf("cross-core store changed the pipecore report:\n%s\nvs\n%s", got, wantPipe)
+	}
+
+	// Same-core reuse must still work beside the foreign segments.
+	again, err := qstore.OpenSession(dir, microKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := again.Stats(); st.Loaded == 0 {
+		t.Fatalf("microrv32 session no longer loads its own entries: %+v", st)
+	}
+	rep = ExploreWith(microRun, ExploreOptions{Common: Common{Workers: 1, Store: again}, Opts: microOpts})
+	if err := again.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats.Cache.StoreHits == 0 {
+		t.Fatal("warm microrv32 run reported no store hits")
+	}
+	if got := deterministicKey(t, rep); got != wantMicro {
+		t.Fatalf("warm microrv32 report diverged:\n%s\nvs\n%s", got, wantMicro)
 	}
 }
 

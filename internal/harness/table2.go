@@ -44,7 +44,9 @@ type Table2Options struct {
 	PerCellTime time.Duration
 	// Limits are the instruction limits to evaluate (default 1 and 2).
 	Limits []int
-	// Faults selects the injected errors (default all of E0–E9).
+	// Faults selects the injected errors. The default is core-dependent:
+	// E0–E9 for microrv32, E0–E14 for the pipelined core (which additionally
+	// implements the hazard/forwarding/control series).
 	Faults []faults.Fault
 	// Search selects the exploration strategy (default DFS). The paper's
 	// per-fault effort ordering is searcher-dependent; random-path makes
@@ -56,31 +58,12 @@ type Table2Options struct {
 	// cell owns its explorer, term context and solver, so cells are fully
 	// independent. 0 or 1 runs sequentially.
 	Parallel int
-	// DUT selects the device under test (default: the MicroRV32 model).
-	DUT DUTKind
-	// Common carries the shared campaign options. Common.Workers splits
-	// within a cell — orthogonal to Parallel, which spreads cells — and
-	// also helps when a single slow cell dominates the campaign.
-	// Common.Budget provides the per-cell default when PerCellTime is zero.
+	// Common carries the shared campaign options. Common.Core selects the
+	// device under test; Common.Workers splits within a cell — orthogonal to
+	// Parallel, which spreads cells — and also helps when a single slow cell
+	// dominates the campaign. Common.Budget provides the per-cell default
+	// when PerCellTime is zero.
 	Common
-}
-
-// DUTKind selects which core model the campaign verifies.
-type DUTKind uint8
-
-// Devices under test.
-const (
-	// DUTMicroRV32 is the multi-cycle MicroRV32 model (the paper's DUT).
-	DUTMicroRV32 DUTKind = iota
-	// DUTPipeline is the fetch-overlapped pipelined core (generality study).
-	DUTPipeline
-)
-
-func (d DUTKind) String() string {
-	if d == DUTPipeline {
-		return "pipeline"
-	}
-	return "microrv32"
 }
 
 func (o Table2Options) withDefaults() Table2Options {
@@ -94,7 +77,11 @@ func (o Table2Options) withDefaults() Table2Options {
 		o.Limits = []int{1, 2}
 	}
 	if o.Faults == nil {
-		o.Faults = faults.All()
+		if o.Common.Core == cosim.CorePipecore {
+			o.Faults = faults.All()
+		} else {
+			o.Faults = faults.Base()
+		}
 	}
 	return o
 }
@@ -160,13 +147,11 @@ func runTable2Cell(f faults.Fault, limit int, opt Table2Options) Table2Cell {
 		ISS:        iss.FixedConfig(),
 		Filter:     cosim.BlockSystemInstructions,
 		InstrLimit: limit,
+		DUTCore:    opt.Common.Core,
 	}
-	switch opt.DUT {
-	case DUTPipeline:
-		cfg.NewDUT = func(eng *core.Engine) cosim.DUT {
-			return pipecore.New(eng, pipecore.Config{Faults: faults.Only(f)})
-		}
-	default:
+	if opt.Common.Core == cosim.CorePipecore {
+		cfg.Pipe = pipecore.Config{Faults: faults.Only(f)}
+	} else {
 		coreCfg := microrv32.FixedConfig()
 		coreCfg.Faults = faults.Only(f)
 		cfg.Core = coreCfg

@@ -12,6 +12,7 @@ package iss
 import (
 	"symriscv/internal/core"
 	"symriscv/internal/riscv"
+	"symriscv/internal/rvfi"
 	"symriscv/internal/smt"
 )
 
@@ -57,25 +58,10 @@ func FixedConfig() Config {
 	return Config{TrapOnMisaligned: true}
 }
 
-// Result reports the architectural effect of one Step for the voter.
-type Result struct {
-	PC     *smt.Term // PC of the executed instruction (concrete on each path)
-	NextPC *smt.Term // PC after the instruction
-	Insn   *smt.Term // instruction word
-
-	Trap  bool
-	Cause uint32
-
-	RdAddr  int       // destination register, 0 when none
-	RdValue *smt.Term // value written to RdAddr (nil when RdAddr == 0)
-
-	MemAddr  *smt.Term // effective address of a load/store (nil otherwise)
-	MemWrite bool
-	// MemWData is the architectural store value (LSB-aligned, zero-extended
-	// to 32 bits) and MemWBytes its width in bytes; set for stores only.
-	MemWData  *smt.Term
-	MemWBytes int
-}
+// Result reports the architectural effect of one Step for the checker. It is
+// the reference half of the rvfi comparison; the alias keeps the ISS free of
+// its own result shape so any checker consumer sees one canonical type.
+type Result = rvfi.Reference
 
 // ISS is the reference simulator state.
 type ISS struct {
@@ -97,10 +83,8 @@ type ISS struct {
 }
 
 // IrqSource supplies the (symbolic) machine-external-interrupt line, one
-// 1-bit term per instruction slot.
-type IrqSource interface {
-	Line(slot uint64) *smt.Term
-}
+// 1-bit term per instruction slot (the canonical contract lives in rvfi).
+type IrqSource = rvfi.IrqSource
 
 // New returns an ISS with all registers zero and PC 0.
 func New(eng *core.Engine, imem InstrFetcher, dmem DataMemory, cfg Config) *ISS {

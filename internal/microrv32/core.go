@@ -123,10 +123,8 @@ type Core struct {
 }
 
 // IrqSource supplies the (symbolic) machine-external-interrupt line, one
-// 1-bit term per instruction slot.
-type IrqSource interface {
-	Line(slot uint64) *smt.Term
-}
+// 1-bit term per instruction slot (the canonical contract lives in rvfi).
+type IrqSource = rvfi.IrqSource
 
 // New returns a core at reset (PC 0, registers zero).
 func New(eng *core.Engine, cfg Config) *Core {

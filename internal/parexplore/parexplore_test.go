@@ -17,6 +17,7 @@ import (
 	"symriscv/internal/microrv32"
 	"symriscv/internal/obs"
 	"symriscv/internal/parexplore"
+	"symriscv/internal/rvfi"
 )
 
 // findingTree enumerates 2^bits paths over one symbolic byte and reports a
@@ -367,7 +368,7 @@ func TestCosimFaultEquivalence(t *testing.T) {
 
 func classifyKey(t *testing.T, err error) string {
 	t.Helper()
-	var m *cosim.Mismatch
+	var m *rvfi.Mismatch
 	if !errors.As(err, &m) {
 		t.Fatalf("finding is not a mismatch: %v", err)
 	}

@@ -49,13 +49,13 @@ func (c *Core) execute() (dbReq rtl.DBusRequest) {
 	case opJALR:
 		rd := c.chooseReg(riscv.FieldRd(ctx, insn))
 		rs1 := c.chooseReg(riscv.FieldRs1(ctx, insn))
-		next := ctx.And(ctx.Add(c.regs[rs1], riscv.SymImmI(ctx, insn)), c.bv(0xfffffffe))
+		next := ctx.And(ctx.Add(c.srcReg(rs1, faults.E10), riscv.SymImmI(ctx, insn)), c.bv(0xfffffffe))
 		done(rd, pcPlus4, next)
 
 	case opBEQ, opBNE, opBLT, opBGE, opBLTU, opBGEU:
 		rs1 := c.chooseReg(riscv.FieldRs1(ctx, insn))
 		rs2 := c.chooseReg(riscv.FieldRs2(ctx, insn))
-		a, b := c.regs[rs1], c.regs[rs2]
+		a, b := c.srcReg(rs1, faults.E10), c.srcReg(rs2, faults.E11)
 		var cond *smt.Term
 		switch op {
 		case opBEQ:
@@ -87,7 +87,7 @@ func (c *Core) execute() (dbReq rtl.DBusRequest) {
 	case opADDI, opSLTI, opSLTIU, opXORI, opORI, opANDI, opSLLI, opSRLI, opSRAI:
 		rd := c.chooseReg(riscv.FieldRd(ctx, insn))
 		rs1 := c.chooseReg(riscv.FieldRs1(ctx, insn))
-		a := c.regs[rs1]
+		a := c.srcReg(rs1, faults.E10)
 		imm := riscv.SymImmI(ctx, insn)
 		shamt := ctx.ZExt(riscv.FieldShamt(ctx, insn), 32)
 		var res *smt.Term
@@ -121,7 +121,7 @@ func (c *Core) execute() (dbReq rtl.DBusRequest) {
 		rd := c.chooseReg(riscv.FieldRd(ctx, insn))
 		rs1 := c.chooseReg(riscv.FieldRs1(ctx, insn))
 		rs2 := c.chooseReg(riscv.FieldRs2(ctx, insn))
-		a, b := c.regs[rs1], c.regs[rs2]
+		a, b := c.srcReg(rs1, faults.E10), c.srcReg(rs2, faults.E11)
 		shamt := ctx.And(b, c.bv(31))
 		var res *smt.Term
 		switch op {
@@ -198,13 +198,14 @@ func (c *Core) startMem(op opKind, insn *smt.Term) rtl.DBusRequest {
 
 	var rd, rs2 int
 	rs1 := c.chooseReg(riscv.FieldRs1(ctx, insn))
+	base := c.srcReg(rs1, faults.E10)
 	var ea *smt.Term
 	if isStore {
 		rs2 = c.chooseReg(riscv.FieldRs2(ctx, insn))
-		ea = ctx.Add(c.regs[rs1], riscv.SymImmS(ctx, insn))
+		ea = ctx.Add(base, riscv.SymImmS(ctx, insn))
 	} else {
 		rd = c.chooseReg(riscv.FieldRd(ctx, insn))
-		ea = ctx.Add(c.regs[rs1], riscv.SymImmI(ctx, insn))
+		ea = ctx.Add(base, riscv.SymImmI(ctx, insn))
 	}
 
 	size := memOpSize(op)
@@ -251,7 +252,7 @@ func (c *Core) startMem(op opKind, insn *smt.Term) rtl.DBusRequest {
 		WrStrobe: m.strobe,
 	}
 	if isStore {
-		val := c.regs[rs2]
+		val := c.srcReg(rs2, faults.E11)
 		if size < 4 {
 			m.storeVal = ctx.ZExt(ctx.Extract(val, int(8*size-1), 0), 32)
 		} else {

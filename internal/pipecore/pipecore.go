@@ -15,7 +15,11 @@
 //
 // The injected faults E0–E9 are supported at the same microarchitectural
 // points as in the MicroRV32 model, so the error-injection study can be
-// replayed against a pipelined implementation.
+// replayed against a pipelined implementation. E10–E14 target points that
+// only exist in a pipelined microarchitecture — the writeback bypass network
+// (E10/E11), the wrong-path squash (E12), the redirect target latch (E13)
+// and the flush/writeback interaction (E14); all of them are invisible at
+// instruction limit 1 and need at least two instructions in flight.
 package pipecore
 
 import (
@@ -31,7 +35,8 @@ import (
 type Config struct {
 	// EnableM adds the RV32M multiply/divide extension.
 	EnableM bool
-	// Faults is the set of injected errors (E0–E9).
+	// Faults is the set of injected errors (E0–E14; E10–E14 are the
+	// pipeline-specific hazard/forwarding/control series).
 	Faults faults.Set
 }
 
@@ -225,6 +230,22 @@ type Core struct {
 	exInsn  *smt.Term
 	exMem   *memState
 
+	// Writeback bypass bookkeeping: the register, pre-write value and cycle
+	// of the most recent register writeback. srcReg consults it for the
+	// E10/E11 dropped-bypass faults; complete consults it for E14.
+	lastWBRd    int
+	lastWBOld   *smt.Term
+	lastWBCycle uint64
+
+	// Interrupt delivery: the external line, the per-slot sampling guard,
+	// and the latched interrupt-control state. The CSR-less core has no CSR
+	// file — mstatus and mie exist only as tie-off inputs of the interrupt
+	// gate (nil reads as 0, i.e. interrupts disabled).
+	irq            rvfi.IrqSource
+	irqCheckedSlot uint64
+	mstatus        *smt.Term
+	mie            *smt.Term
+
 	ret rvfi.Retirement
 }
 
@@ -247,6 +268,32 @@ func New(eng *core.Engine, cfg Config) *Core {
 
 // SetPC sets the reset fetch address.
 func (c *Core) SetPC(pc uint32) { c.pc = pc }
+
+// SetIrqSource connects the external interrupt line (testbench hook).
+func (c *Core) SetIrqSource(src rvfi.IrqSource) {
+	c.irq = src
+	c.irqCheckedSlot = ^uint64(0)
+}
+
+// SetCSR latches interrupt-control state (testbench hook). The CSR-less
+// pipeline core has no CSR file; only mstatus and mie are stored, as the
+// tie-off inputs of the interrupt gate — every other address is ignored.
+func (c *Core) SetCSR(addr uint16, v *smt.Term) {
+	switch addr {
+	case riscv.CSRMStatus:
+		c.mstatus = v
+	case riscv.CSRMIe:
+		c.mie = v
+	}
+}
+
+// csrOr0 reads a latched interrupt-control input, nil meaning hardwired 0.
+func (c *Core) csrOr0(t *smt.Term) *smt.Term {
+	if t == nil {
+		return c.bv(0)
+	}
+	return t
+}
 
 // SetReg initialises a register (testbench hook); x0 writes are ignored.
 func (c *Core) SetReg(i int, v *smt.Term) {
@@ -325,6 +372,22 @@ func (c *Core) Step(ib rtl.IBusResponse, db rtl.DBusResponse) (ibReq rtl.IBusReq
 		}
 	}
 
+	// --- EX interrupt gate: one opportunity per instruction slot, sampled
+	// before the slot's instruction executes — the same architectural point
+	// the reference ISS uses. A taken interrupt squashes the not-yet-executed
+	// instruction and steers fetch to the hardwired vector (0); the slot's
+	// instruction is then the first handler instruction.
+	if c.exValid && c.irq != nil && c.irqCheckedSlot != c.order {
+		c.irqCheckedSlot = c.order
+		line := c.irq.Line(c.order)
+		taken := riscv.SymInterruptTaken(c.ctx, line, c.csrOr0(c.mstatus), c.csrOr0(c.mie))
+		if c.eng.Branch(taken) {
+			c.exValid = false
+			c.exMem = nil
+			c.redirect(0)
+		}
+	}
+
 	// --- EX.
 	if c.exValid {
 		if c.exMem != nil {
@@ -353,8 +416,29 @@ func (c *Core) Step(ib rtl.IBusResponse, db rtl.DBusResponse) (ibReq rtl.IBusReq
 	return ibReq, dbReq
 }
 
+// srcReg reads register i as the EX stage sees it on its read port for the
+// given bypass lane (faults.E10 for rs1, faults.E11 for rs2). With the lane's
+// dropped-bypass fault injected, a value committed by the writeback on the
+// previous cycle has not yet propagated to the read port, so a back-to-back
+// consumer reads the stale operand.
+func (c *Core) srcReg(i int, lane faults.Fault) *smt.Term {
+	if i != 0 && i == c.lastWBRd && c.cycle == c.lastWBCycle+1 && c.cfg.Faults.Has(lane) {
+		return c.lastWBOld
+	}
+	return c.regs[i]
+}
+
 // redirect flushes the fetch stage and steers it to the target.
 func (c *Core) redirect(target uint32) {
+	if c.cfg.Faults.Has(faults.E13) {
+		target += 4 // E13: redirect target mis-latched
+	}
+	if c.cfg.Faults.Has(faults.E12) {
+		// E12: the wrong-path squash is dropped — the speculatively fetched
+		// fall-through instruction stays valid, executes and retires.
+		c.pc = target
+		return
+	}
 	c.ifValid = false
 	if c.fetchPending {
 		c.fetchDiscard = true
@@ -371,6 +455,7 @@ func (c *Core) complete(w *wbEntry) {
 	c.exMem = nil
 
 	if !w.trap && w.rd != 0 {
+		c.lastWBRd, c.lastWBOld, c.lastWBCycle = w.rd, c.regs[w.rd], c.cycle
 		c.writeReg(w.rd, w.val)
 	}
 	c.order++
@@ -399,6 +484,13 @@ func (c *Core) complete(w *wbEntry) {
 
 	next := uint32(c.eng.Concretize(w.nextPC))
 	if next != w.pc+4 {
+		if !w.trap && w.rd != 0 && c.cfg.Faults.Has(faults.E14) {
+			// E14: the flush rolls back the retiring instruction's own
+			// register writeback (e.g. the link register of a taken JAL).
+			// The RVFI record keeps the committed value — the corruption
+			// only surfaces through a later read of the register.
+			c.regs[w.rd] = c.lastWBOld
+		}
 		c.redirect(next)
 	}
 }

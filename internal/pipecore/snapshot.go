@@ -1,14 +1,18 @@
 package pipecore
 
-import "symriscv/internal/core"
+import (
+	"symriscv/internal/core"
+	"symriscv/internal/rvfi"
+)
 
 // SnapshotDUT freezes the pipeline's complete state and returns a restore
 // closure rebuilding an equivalent core bound to a fresh engine (fork-point
 // checkpointing, same contract as microrv32.Core.SnapshotDUT). All pipeline
 // registers hold hash-consed *smt.Term pointers shared as-is; the EX-stage
 // memory state and the interesting-register slice are the only mutable heap
-// state, copied per restore. The pipecore has no interrupt line, so irqSrc
-// is ignored.
+// state, copied per restore. irqSrc, when non-nil, must be the restored
+// interrupt source (asserted to rvfi.IrqSource); it replaces the frozen one
+// without disturbing irqCheckedSlot, unlike the SetIrqSource testbench hook.
 func (c *Core) SnapshotDUT() func(eng *core.Engine, irqSrc any) any {
 	frozen := *c
 	if c.exMem != nil {
@@ -16,7 +20,7 @@ func (c *Core) SnapshotDUT() func(eng *core.Engine, irqSrc any) any {
 		frozen.exMem = &m
 	}
 	interesting := append([]int(nil), c.interesting...)
-	return func(eng *core.Engine, _ any) any {
+	return func(eng *core.Engine, irqSrc any) any {
 		n := frozen
 		n.eng = eng
 		if frozen.exMem != nil {
@@ -24,6 +28,9 @@ func (c *Core) SnapshotDUT() func(eng *core.Engine, irqSrc any) any {
 			n.exMem = &m
 		}
 		n.interesting = append([]int(nil), interesting...)
+		if irqSrc != nil {
+			n.irq = irqSrc.(rvfi.IrqSource)
+		}
 		return &n
 	}
 }

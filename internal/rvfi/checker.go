@@ -1,18 +1,16 @@
-package cosim
+package rvfi
 
 import (
 	"fmt"
 
 	"symriscv/internal/core"
-	"symriscv/internal/iss"
 	"symriscv/internal/obs"
 	"symriscv/internal/riscv"
 	"symriscv/internal/rtl"
-	"symriscv/internal/rvfi"
 	"symriscv/internal/smt"
 )
 
-// MismatchKind classifies what the voter saw disagree.
+// MismatchKind classifies what the checker saw disagree.
 type MismatchKind uint8
 
 // Mismatch kinds.
@@ -40,8 +38,8 @@ func (k MismatchKind) String() string {
 	return "mismatch"
 }
 
-// Mismatch is the voter's finding: a satisfiable functional difference
-// between the RTL core and the reference ISS, with a concrete witness.
+// Mismatch is the checker's finding: a satisfiable functional difference
+// between the RTL core and the reference model, with a concrete witness.
 // It implements core.Witnesser so the explorer attaches the counterexample.
 type Mismatch struct {
 	Kind   MismatchKind
@@ -71,36 +69,39 @@ func (m *Mismatch) Error() string {
 // Witness implements core.Witnesser.
 func (m *Mismatch) Witness() smt.MapEnv { return m.Env }
 
-// Voter compares each RTL retirement against the ISS step result, raising a
-// Mismatch when any architectural difference is satisfiable under the path
-// constraints (§IV-D).
-type Voter struct {
+// Checker compares each DUT retirement against the reference-model result,
+// raising a Mismatch when any architectural difference is satisfiable under
+// the path constraints (§IV-D). It is core-agnostic: any Port implementation
+// whose retirements line up with the reference's instruction slots can be
+// checked, regardless of how many cycles or pipeline stages produced them.
+type Checker struct {
 	eng *core.Engine
 	ctx *smt.Context
 }
 
-// NewVoter returns a voter bound to the engine.
-func NewVoter(eng *core.Engine) *Voter {
-	return &Voter{eng: eng, ctx: eng.Context()}
+// NewChecker returns a checker bound to the engine.
+func NewChecker(eng *core.Engine) *Checker {
+	return &Checker{eng: eng, ctx: eng.Context()}
 }
 
-// Compare checks one retirement pair. A nil return means no observable
-// difference is satisfiable on this path.
-func (v *Voter) Compare(ret *rvfi.Retirement, res iss.Result) *Mismatch {
+// Compare checks one retirement against the reference result for the same
+// instruction slot. A nil return means no observable difference is
+// satisfiable on this path.
+func (v *Checker) Compare(ret *Retirement, ref Reference) *Mismatch {
 	defer v.eng.Obs().Start(obs.PhaseVoterCompare).End()
 	ctx := v.ctx
 
 	// Trap behaviour is concrete on each path.
-	if ret.Trap != res.Trap {
-		return v.finish(ret, res, TrapMismatch,
+	if ret.Trap != ref.Trap {
+		return v.finish(ret, ref, TrapMismatch,
 			fmt.Sprintf("RTL trap=%v (cause %s), ISS trap=%v (cause %s)",
-				ret.Trap, causeStr(ret), res.Trap, causeStrISS(res)), nil)
+				ret.Trap, causeStr(ret), ref.Trap, causeStrRef(ref)), nil)
 	}
-	if ret.Trap && res.Trap {
-		if ret.Cause != res.Cause {
-			return v.finish(ret, res, CauseMismatch,
+	if ret.Trap && ref.Trap {
+		if ret.Cause != ref.Cause {
+			return v.finish(ret, ref, CauseMismatch,
 				fmt.Sprintf("RTL cause=%s, ISS cause=%s",
-					riscv.ExcName(ret.Cause), riscv.ExcName(res.Cause)), nil)
+					riscv.ExcName(ret.Cause), riscv.ExcName(ref.Cause)), nil)
 		}
 		// Both trapped identically: compare the trap target PC below.
 	}
@@ -109,25 +110,25 @@ func (v *Voter) Compare(ret *rvfi.Retirement, res iss.Result) *Mismatch {
 	// pointer-equal, so the solver is only consulted for syntactically
 	// distinct values. The old-PC comparison catches control-flow divergence
 	// that happened *between* retirements (e.g. one side taking an
-	// interrupt).
-	if ret.PCRData != res.PC {
-		if env, ok := v.eng.FindWitness(ctx.Ne(ret.PCRData, res.PC)); ok {
-			return v.finish(ret, res, PCMismatch, "executed-instruction PCs can differ", env)
+	// interrupt, or a pipeline retiring a wrong-path instruction).
+	if ret.PCRData != ref.PC {
+		if env, ok := v.eng.FindWitness(ctx.Ne(ret.PCRData, ref.PC)); ok {
+			return v.finish(ret, ref, PCMismatch, "executed-instruction PCs can differ", env)
 		}
 	}
-	if ret.PCWData != res.NextPC {
-		if env, ok := v.eng.FindWitness(ctx.Ne(ret.PCWData, res.NextPC)); ok {
-			return v.finish(ret, res, PCMismatch, "next-PC values can differ", env)
+	if ret.PCWData != ref.NextPC {
+		if env, ok := v.eng.FindWitness(ctx.Ne(ret.PCWData, ref.NextPC)); ok {
+			return v.finish(ret, ref, PCMismatch, "next-PC values can differ", env)
 		}
 	}
 
-	if ret.RdAddr != res.RdAddr {
-		return v.finish(ret, res, RdMismatch,
-			fmt.Sprintf("RTL writes x%d, ISS writes x%d", ret.RdAddr, res.RdAddr), nil)
+	if ret.RdAddr != ref.RdAddr {
+		return v.finish(ret, ref, RdMismatch,
+			fmt.Sprintf("RTL writes x%d, ISS writes x%d", ret.RdAddr, ref.RdAddr), nil)
 	}
-	if ret.RdAddr != 0 && ret.RdWData != res.RdValue {
-		if env, ok := v.eng.FindWitness(ctx.Ne(ret.RdWData, res.RdValue)); ok {
-			return v.finish(ret, res, RdMismatch,
+	if ret.RdAddr != 0 && ret.RdWData != ref.RdValue {
+		if env, ok := v.eng.FindWitness(ctx.Ne(ret.RdWData, ref.RdValue)); ok {
+			return v.finish(ret, ref, RdMismatch,
 				fmt.Sprintf("x%d values can differ", ret.RdAddr), env)
 		}
 	}
@@ -135,23 +136,23 @@ func (v *Voter) Compare(ret *rvfi.Retirement, res iss.Result) *Mismatch {
 	// Memory-write effects (architectural store address, size and data).
 	if !ret.Trap {
 		rtlWrote := ret.MemWMask != 0
-		if rtlWrote != res.MemWrite {
-			return v.finish(ret, res, MemMismatch,
-				fmt.Sprintf("RTL store=%v, ISS store=%v", rtlWrote, res.MemWrite), nil)
+		if rtlWrote != ref.MemWrite {
+			return v.finish(ret, ref, MemMismatch,
+				fmt.Sprintf("RTL store=%v, ISS store=%v", rtlWrote, ref.MemWrite), nil)
 		}
 		if rtlWrote {
-			if got, want := rtl.Strobe(ret.MemWMask).Bytes(), res.MemWBytes; got != want {
-				return v.finish(ret, res, MemMismatch,
+			if got, want := rtl.Strobe(ret.MemWMask).Bytes(), ref.MemWBytes; got != want {
+				return v.finish(ret, ref, MemMismatch,
 					fmt.Sprintf("store width %d bytes vs %d bytes", got, want), nil)
 			}
-			if ret.MemAddr != res.MemAddr {
-				if env, ok := v.eng.FindWitness(ctx.Ne(ret.MemAddr, res.MemAddr)); ok {
-					return v.finish(ret, res, MemMismatch, "store addresses can differ", env)
+			if ret.MemAddr != ref.MemAddr {
+				if env, ok := v.eng.FindWitness(ctx.Ne(ret.MemAddr, ref.MemAddr)); ok {
+					return v.finish(ret, ref, MemMismatch, "store addresses can differ", env)
 				}
 			}
-			if ret.MemWData != nil && res.MemWData != nil && ret.MemWData != res.MemWData {
-				if env, ok := v.eng.FindWitness(ctx.Ne(ret.MemWData, res.MemWData)); ok {
-					return v.finish(ret, res, MemMismatch, "store data can differ", env)
+			if ret.MemWData != nil && ref.MemWData != nil && ret.MemWData != ref.MemWData {
+				if env, ok := v.eng.FindWitness(ctx.Ne(ret.MemWData, ref.MemWData)); ok {
+					return v.finish(ret, ref, MemMismatch, "store data can differ", env)
 				}
 			}
 		}
@@ -159,23 +160,23 @@ func (v *Voter) Compare(ret *rvfi.Retirement, res iss.Result) *Mismatch {
 	return nil
 }
 
-func causeStr(ret *rvfi.Retirement) string {
+func causeStr(ret *Retirement) string {
 	if !ret.Trap {
 		return "-"
 	}
 	return riscv.ExcName(ret.Cause)
 }
 
-func causeStrISS(res iss.Result) string {
-	if !res.Trap {
+func causeStrRef(ref Reference) string {
+	if !ref.Trap {
 		return "-"
 	}
-	return riscv.ExcName(res.Cause)
+	return riscv.ExcName(ref.Cause)
 }
 
 // finish materialises a witness (if not already provided by the deciding
 // query) and evaluates both sides' behaviour under it for the report.
-func (v *Voter) finish(ret *rvfi.Retirement, res iss.Result, kind MismatchKind, detail string, env smt.MapEnv) *Mismatch {
+func (v *Checker) finish(ret *Retirement, ref Reference, kind MismatchKind, detail string, env smt.MapEnv) *Mismatch {
 	if env == nil {
 		var ok bool
 		env, ok = v.eng.FindWitness(v.ctx.True())
@@ -188,7 +189,7 @@ func (v *Voter) finish(ret *rvfi.Retirement, res iss.Result, kind MismatchKind, 
 		Kind:    kind,
 		Detail:  detail,
 		RTLTrap: ret.Trap,
-		ISSTrap: res.Trap,
+		ISSTrap: ref.Trap,
 		RdAddr:  ret.RdAddr,
 		Env:     env,
 	}
@@ -196,12 +197,12 @@ func (v *Voter) finish(ret *rvfi.Retirement, res iss.Result, kind MismatchKind, 
 	m.Disasm = riscv.Disasm(m.Insn)
 	m.PC = uint32(evalOr0(ret.PCRData, env))
 	m.RTLNext = uint32(evalOr0(ret.PCWData, env))
-	m.ISSNext = uint32(evalOr0(res.NextPC, env))
+	m.ISSNext = uint32(evalOr0(ref.NextPC, env))
 	if ret.RdAddr != 0 {
 		m.RTLRd = uint32(evalOr0(ret.RdWData, env))
 	}
-	if res.RdAddr != 0 {
-		m.ISSRd = uint32(evalOr0(res.RdValue, env))
+	if ref.RdAddr != 0 {
+		m.ISSRd = uint32(evalOr0(ref.RdValue, env))
 	}
 	return m
 }

@@ -1,20 +1,18 @@
-package cosim
+package rvfi
 
 import (
 	"testing"
 
 	"symriscv/internal/core"
-	"symriscv/internal/iss"
 	"symriscv/internal/rtl"
-	"symriscv/internal/rvfi"
 	"symriscv/internal/smt"
 )
 
-// voterFixture runs fn with a voter inside a single-path exploration.
-func voterFixture(t *testing.T, fn func(ctx *smt.Context, e *core.Engine, v *Voter)) {
+// checkerFixture runs fn with a voter inside a single-path exploration.
+func checkerFixture(t *testing.T, fn func(ctx *smt.Context, e *core.Engine, v *Checker)) {
 	t.Helper()
 	x := core.NewExplorer(func(e *core.Engine) error {
-		fn(e.Context(), e, NewVoter(e))
+		fn(e.Context(), e, NewChecker(e))
 		return nil
 	})
 	rep := x.Explore(core.Options{MaxPaths: 4})
@@ -24,9 +22,9 @@ func voterFixture(t *testing.T, fn func(ctx *smt.Context, e *core.Engine, v *Vot
 }
 
 func TestVoterAgreement(t *testing.T) {
-	voterFixture(t, func(ctx *smt.Context, e *core.Engine, v *Voter) {
+	checkerFixture(t, func(ctx *smt.Context, e *core.Engine, v *Checker) {
 		val := e.MakeSymbolic("val", 32)
-		ret := &rvfi.Retirement{
+		ret := &Retirement{
 			Valid:   true,
 			Insn:    ctx.BV(32, 0x13),
 			PCRData: ctx.BV(32, 0),
@@ -34,7 +32,7 @@ func TestVoterAgreement(t *testing.T) {
 			RdAddr:  1,
 			RdWData: val,
 		}
-		res := iss.Result{
+		res := Reference{
 			PC:      ctx.BV(32, 0),
 			NextPC:  ctx.BV(32, 4),
 			Insn:    ctx.BV(32, 0x13),
@@ -50,16 +48,16 @@ func TestVoterAgreement(t *testing.T) {
 func TestVoterSemanticallyEqualValues(t *testing.T) {
 	// Syntactically different but semantically equal rd values must pass:
 	// x+x vs 2*x.
-	voterFixture(t, func(ctx *smt.Context, e *core.Engine, v *Voter) {
+	checkerFixture(t, func(ctx *smt.Context, e *core.Engine, v *Checker) {
 		x := e.MakeSymbolic("vx", 32)
 		a := ctx.Add(x, x)
 		b := ctx.Mul(x, ctx.BV(32, 2))
-		ret := &rvfi.Retirement{
+		ret := &Retirement{
 			Valid: true, Insn: ctx.BV(32, 0x13),
 			PCRData: ctx.BV(32, 0), PCWData: ctx.BV(32, 4),
 			RdAddr: 1, RdWData: a,
 		}
-		res := iss.Result{
+		res := Reference{
 			PC: ctx.BV(32, 0), NextPC: ctx.BV(32, 4), Insn: ctx.BV(32, 0x13),
 			RdAddr: 1, RdValue: b,
 		}
@@ -70,13 +68,13 @@ func TestVoterSemanticallyEqualValues(t *testing.T) {
 }
 
 func TestVoterKinds(t *testing.T) {
-	voterFixture(t, func(ctx *smt.Context, e *core.Engine, v *Voter) {
+	checkerFixture(t, func(ctx *smt.Context, e *core.Engine, v *Checker) {
 		val := e.MakeSymbolic("kv", 32)
-		base := func() (*rvfi.Retirement, iss.Result) {
-			return &rvfi.Retirement{
+		base := func() (*Retirement, Reference) {
+			return &Retirement{
 					Valid: true, Insn: ctx.BV(32, 0x13),
 					PCRData: ctx.BV(32, 0), PCWData: ctx.BV(32, 4),
-				}, iss.Result{
+				}, Reference{
 					PC: ctx.BV(32, 0), NextPC: ctx.BV(32, 4), Insn: ctx.BV(32, 0x13),
 				}
 		}
@@ -161,14 +159,14 @@ func TestVoterKinds(t *testing.T) {
 }
 
 func TestVoterWitnessEvaluation(t *testing.T) {
-	voterFixture(t, func(ctx *smt.Context, e *core.Engine, v *Voter) {
+	checkerFixture(t, func(ctx *smt.Context, e *core.Engine, v *Checker) {
 		val := e.MakeSymbolic("wv", 32)
-		ret := &rvfi.Retirement{
+		ret := &Retirement{
 			Valid: true, Insn: ctx.BV(32, 0x00108093), // addi x1, x1, 1
 			PCRData: ctx.BV(32, 0), PCWData: ctx.BV(32, 4),
 			RdAddr: 1, RdWData: ctx.And(val, ctx.BV(32, 0xfffffffe)),
 		}
-		res := iss.Result{
+		res := Reference{
 			PC: ctx.BV(32, 0), NextPC: ctx.BV(32, 4), Insn: ret.Insn,
 			RdAddr: 1, RdValue: val,
 		}

@@ -1,0 +1,59 @@
+package rvfi
+
+import (
+	"symriscv/internal/rtl"
+	"symriscv/internal/smt"
+)
+
+// Port is the commit-level contract a device under test exposes to the
+// co-simulation testbench: a clocked, bus-accurate core model publishing one
+// RVFI retirement record per architecturally executed instruction. The
+// testbench drives any Port the same way — the FSM core (internal/microrv32)
+// and the pipelined core (internal/pipecore) are the two in-tree adapters.
+//
+// Adapter contract:
+//   - Step advances one clock edge, consuming the bus responses for requests
+//     issued on the previous edge and issuing this edge's requests.
+//   - Retirement reports the record for the instruction (if any) that
+//     architecturally retired on this edge. For a multi-cycle FSM core that
+//     is the writeback state; for a pipelined core it is the retire stage,
+//     so squashed (wrong-path) instructions must never be published.
+//   - SetPC / SetReg install the reset PC and the sliced symbolic registers
+//     before the first Step.
+type Port interface {
+	Step(rtl.IBusResponse, rtl.DBusResponse) (rtl.IBusRequest, rtl.DBusRequest)
+	Retirement() *Retirement
+	SetPC(pc uint32)
+	SetReg(i int, v *smt.Term)
+}
+
+// IrqSource supplies the (symbolic) machine-external-interrupt line, one
+// 1-bit term per instruction slot. A slot is one retirement opportunity: the
+// reference model and every DUT adapter sample the same slot's line exactly
+// once, before that slot's instruction executes, so interrupt delivery is
+// architecturally synchronised across models regardless of their timing.
+type IrqSource interface {
+	Line(slot uint64) *smt.Term
+}
+
+// Reference is the reference model's architectural result for one
+// instruction slot — the golden half of the comparison. The ISS produces one
+// Reference per Step; the Checker holds it against the DUT's Retirement.
+type Reference struct {
+	PC     *smt.Term // PC of the executed instruction (concrete on each path)
+	NextPC *smt.Term // PC after the instruction
+	Insn   *smt.Term // instruction word
+
+	Trap  bool
+	Cause uint32
+
+	RdAddr  int       // destination register, 0 when none
+	RdValue *smt.Term // value written to RdAddr (nil when RdAddr == 0)
+
+	MemAddr  *smt.Term // effective address of a load/store (nil otherwise)
+	MemWrite bool
+	// MemWData is the architectural store value (LSB-aligned, zero-extended
+	// to 32 bits) and MemWBytes its width in bytes; set for stores only.
+	MemWData  *smt.Term
+	MemWBytes int
+}

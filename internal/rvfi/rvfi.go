@@ -1,13 +1,18 @@
-// Package rvfi models the subset of the RISC-V Formal Interface (RVFI) that
-// the co-simulation voter observes: one retirement record per architecturally
-// executed instruction, carrying the (possibly symbolic) architectural
-// effects of that instruction.
+// Package rvfi models the subset of the RISC-V Formal Interface (RVFI) the
+// co-simulation observes, and the core-agnostic machinery built on it: the
+// Port contract a device under test implements (one Retirement record per
+// architecturally executed instruction), the Reference result the golden
+// model produces per instruction slot, and the Checker that searches for
+// satisfiable architectural differences between the two. Any core whose
+// adapter publishes commit-level RVFI state plugs into the same reference
+// model and campaign harnesses — the FSM-style microrv32 and the pipelined
+// pipecore are the two in-tree Ports.
 package rvfi
 
 import "symriscv/internal/smt"
 
 // Retirement is one RVFI record. Data values are smt terms (width 32) so the
-// voter can compare them symbolically; control-flow facts (trap taken, rd
+// checker can compare them symbolically; control-flow facts (trap taken, rd
 // index) are concrete on every explored path by construction.
 type Retirement struct {
 	Valid bool   // rvfi_valid: a retirement happened this cycle
